@@ -1,0 +1,132 @@
+"""Shared fixtures and helpers for the per-figure benchmarks.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation section (see DESIGN.md for the index).  Each benchmark
+
+* drives the same scaled synthetic datasets through the scheme(s) the figure
+  compares,
+* prints the figure's rows/series and appends them to
+  ``benchmarks/results/<figure>.txt`` so a full run leaves a reviewable
+  record, and
+* registers one representative operation with ``pytest-benchmark`` so the
+  usual ``--benchmark-only`` machinery reports wall-clock numbers.
+
+The scaled workloads are kept small enough for the whole suite to run in a
+few minutes of pure Python; the *shape* conclusions are drawn from the
+modelled memory accesses and memory bytes, as explained in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+import pytest
+
+from repro.bench import OURS, SCHEMES, dataset_stream, format_table, run_basic_tasks
+from repro.datasets import DATASET_ORDER, EdgeStream
+
+#: Upper bound on stream arrivals per dataset for the benchmark runs.
+#: The basic-task figures use a larger slice so that degree-dependent costs
+#: (adjacency scans, log scans) are visible, as they are at the paper's scale.
+BENCH_STREAM_LIMIT = 8000
+
+#: Directory where each figure's printed rows are also written to disk.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_stream(name: str, limit: int = BENCH_STREAM_LIMIT) -> EdgeStream:
+    """The scaled stand-in stream for ``name``, truncated for benchmark speed."""
+    stream = dataset_stream(name)
+    return stream.prefix(limit) if len(stream) > limit else stream
+
+
+def write_report(figure: str, text: str) -> None:
+    """Print a figure's rows and persist them under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def basic_task_results() -> dict[str, dict[str, dict]]:
+    """Figures 6-8 share one pass: dataset -> scheme -> {insert,query,delete}."""
+    results: dict[str, dict[str, dict]] = {}
+    for dataset in DATASET_ORDER:
+        stream = bench_stream(dataset)
+        results[dataset] = {
+            scheme: run_basic_tasks(scheme, dataset, stream) for scheme in SCHEMES
+        }
+    return results
+
+
+def operation_table(results: dict[str, dict[str, dict]], operation: str) -> str:
+    """Render the Figure 6/7/8 rows for one operation."""
+    rows = []
+    for dataset, per_scheme in results.items():
+        for scheme, ops in per_scheme.items():
+            rows.append(ops[operation].as_row())
+    return format_table(
+        rows,
+        columns=["dataset", "scheme", "operations", "mops", "accesses_per_op",
+                 "modelled_mops"],
+        title=f"{operation.capitalize()} throughput across datasets "
+              f"(wall-clock Mops and modelled accesses/op)",
+    )
+
+
+def assert_ours_wins_majority(results: dict[str, dict[str, dict]], operation: str,
+                              minimum_fraction: float = 0.5) -> None:
+    """Shape check: CuckooGraph beats each competitor on most datasets."""
+    for competitor in (scheme for scheme in SCHEMES if scheme != OURS):
+        wins = 0
+        for dataset, per_scheme in results.items():
+            ours = per_scheme[OURS][operation].accesses_per_op
+            theirs = per_scheme[competitor][operation].accesses_per_op
+            if ours <= theirs:
+                wins += 1
+        assert wins >= len(results) * minimum_fraction, (
+            f"CuckooGraph should need fewer memory accesses than {competitor} for "
+            f"{operation} on at least {minimum_fraction:.0%} of datasets (won {wins})"
+        )
+
+
+def benchmark_callable(benchmark, function: Callable, *args, **kwargs):
+    """Register a representative operation with pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+
+#: Smaller stream limit for the quadratic-ish analytics kernels (TC, BC, LCC).
+ANALYTICS_STREAM_LIMIT = 1500
+
+
+def run_analytics_figure(figure: str, task: str, benchmark,
+                         stream_limit: int = ANALYTICS_STREAM_LIMIT,
+                         **task_kwargs) -> list[dict]:
+    """Shared driver for Figures 10-16: run one kernel for every scheme/dataset.
+
+    Returns the report rows; also writes them to ``benchmarks/results`` and
+    registers a CuckooGraph run on the CAIDA stand-in with pytest-benchmark.
+    """
+    from repro.bench import ANALYTICS_TASKS  # local import keeps conftest light
+
+    driver = ANALYTICS_TASKS[task]
+    rows = []
+    for dataset in DATASET_ORDER:
+        stream = bench_stream(dataset, stream_limit)
+        for scheme in SCHEMES:
+            result = driver(scheme, dataset, stream, **task_kwargs)
+            rows.append(result.as_row())
+    write_report(
+        figure,
+        format_table(rows, columns=["dataset", "scheme", "task", "seconds", "detail"],
+                     title=f"Running time of {task} on every dataset and scheme"),
+    )
+    # Every cell must have completed with a non-negative running time.
+    assert all(row["seconds"] >= 0 for row in rows)
+    assert len(rows) == len(DATASET_ORDER) * len(SCHEMES)
+
+    caida = bench_stream("CAIDA", stream_limit)
+    benchmark.pedantic(driver, args=(OURS, "CAIDA", caida), kwargs=task_kwargs,
+                       rounds=2, iterations=1)
+    return rows

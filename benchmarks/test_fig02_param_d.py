@@ -1,0 +1,31 @@
+"""Figure 2: tuning the number of cells per bucket d (4, 8, 16, 32)."""
+
+from repro.bench import format_table, run_parameter_point
+from repro.core import CuckooGraphConfig, tuning_grid
+
+from .conftest import bench_stream, benchmark_callable, write_report
+
+
+def test_fig02_tuning_d(benchmark):
+    """Insertion/query throughput and memory for d in {4, 8, 16, 32} on CAIDA."""
+    stream = bench_stream("CAIDA")
+    rows = []
+    memory_by_d = {}
+    for d in tuning_grid()["d"]:
+        outcome = run_parameter_point(CuckooGraphConfig(d=d), stream, checkpoints=4)
+        memory_by_d[d] = outcome["final_memory_bytes"]
+        rows.append({
+            "d": d,
+            "insert_mops_final": round(outcome["insert_series"][-1][1], 4),
+            "query_mops": round(outcome["query_mops"], 4),
+            "memory_bytes": outcome["final_memory_bytes"],
+        })
+    write_report("fig02_param_d", format_table(rows, title="Tuning d (Figure 2)"))
+
+    # The paper finds d=4 and d=8 the most memory-efficient settings; larger
+    # buckets must not use less memory than d=8.
+    assert memory_by_d[8] <= memory_by_d[32]
+
+    benchmark_callable(
+        benchmark, run_parameter_point, CuckooGraphConfig(d=8), stream.prefix(800)
+    )

@@ -1,0 +1,31 @@
+"""Figure 3: tuning the expansion loading-rate threshold G (0.8-0.95)."""
+
+from repro.bench import format_table, run_parameter_point
+from repro.core import CuckooGraphConfig, tuning_grid
+
+from .conftest import bench_stream, benchmark_callable, write_report
+
+
+def test_fig03_tuning_g(benchmark):
+    """Insertion/query throughput and memory for G in {0.8, 0.85, 0.9, 0.95}."""
+    stream = bench_stream("CAIDA")
+    rows = []
+    memory_by_g = {}
+    for G in tuning_grid()["G"]:
+        config = CuckooGraphConfig(G=G, lam=min(0.4, 2 * G / 3))
+        outcome = run_parameter_point(config, stream, checkpoints=4)
+        memory_by_g[G] = outcome["final_memory_bytes"]
+        rows.append({
+            "G": G,
+            "insert_mops_final": round(outcome["insert_series"][-1][1], 4),
+            "query_mops": round(outcome["query_mops"], 4),
+            "memory_bytes": outcome["final_memory_bytes"],
+        })
+    write_report("fig03_param_g", format_table(rows, title="Tuning G (Figure 3)"))
+
+    # The paper observes that larger G means smaller memory usage.
+    assert memory_by_g[0.95] <= memory_by_g[0.8]
+
+    benchmark_callable(
+        benchmark, run_parameter_point, CuckooGraphConfig(G=0.9), stream.prefix(800)
+    )

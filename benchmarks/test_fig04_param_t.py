@@ -1,0 +1,31 @@
+"""Figure 4: tuning the maximum kick-out budget T (50-350)."""
+
+from repro.bench import format_table, run_parameter_point
+from repro.core import CuckooGraphConfig, tuning_grid
+
+from .conftest import bench_stream, benchmark_callable, write_report
+
+
+def test_fig04_tuning_t(benchmark):
+    """Insertion/query throughput and memory for T in {50, 150, 250, 350}."""
+    stream = bench_stream("CAIDA")
+    rows = []
+    memory_by_t = {}
+    for T in tuning_grid()["T"]:
+        outcome = run_parameter_point(CuckooGraphConfig(T=T), stream, checkpoints=4)
+        memory_by_t[T] = outcome["final_memory_bytes"]
+        rows.append({
+            "T": T,
+            "insert_mops_final": round(outcome["insert_series"][-1][1], 4),
+            "query_mops": round(outcome["query_mops"], 4),
+            "memory_bytes": outcome["final_memory_bytes"],
+        })
+    write_report("fig04_param_t", format_table(rows, title="Tuning T (Figure 4)"))
+
+    # The paper finds T makes no difference to memory usage; allow 5% noise.
+    values = list(memory_by_t.values())
+    assert max(values) <= min(values) * 1.05
+
+    benchmark_callable(
+        benchmark, run_parameter_point, CuckooGraphConfig(T=250), stream.prefix(800)
+    )

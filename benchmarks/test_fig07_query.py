@@ -1,0 +1,29 @@
+"""Figure 7: edge-query throughput of every scheme on the seven datasets."""
+
+from repro.core import CuckooGraph
+
+from .conftest import (
+    assert_ours_wins_majority,
+    bench_stream,
+    benchmark_callable,
+    operation_table,
+    write_report,
+)
+
+
+def test_fig07_query_throughput(benchmark, basic_task_results):
+    """Regenerate the Figure 7 series and benchmark CuckooGraph queries."""
+    write_report("fig07_query", operation_table(basic_task_results, "query"))
+    # The query advantage is the paper's strongest basic-task result; it must
+    # hold on every dataset in the access model.
+    assert_ours_wins_majority(basic_task_results, "query", minimum_fraction=0.99)
+
+    edges = list(bench_stream("CAIDA").deduplicated())
+    store = CuckooGraph()
+    for u, v in edges:
+        store.insert_edge(u, v)
+
+    def query_all():
+        return sum(1 for u, v in edges if store.has_edge(u, v))
+
+    assert benchmark_callable(benchmark, query_all) == len(edges)

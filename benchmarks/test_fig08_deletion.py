@@ -1,0 +1,31 @@
+"""Figure 8: deletion throughput of every scheme on the seven datasets."""
+
+from repro.core import CuckooGraph
+
+from .conftest import (
+    assert_ours_wins_majority,
+    bench_stream,
+    benchmark_callable,
+    operation_table,
+    write_report,
+)
+
+
+def test_fig08_deletion_throughput(benchmark, basic_task_results):
+    """Regenerate the Figure 8 series and benchmark CuckooGraph deletions."""
+    write_report("fig08_deletion", operation_table(basic_task_results, "delete"))
+    # Deletion is the paper's narrowest win (3.63x over Spruce on average,
+    # because of reverse transformations); require a majority, not a sweep.
+    assert_ours_wins_majority(basic_task_results, "delete", minimum_fraction=0.5)
+
+    edges = list(bench_stream("CAIDA").deduplicated())
+
+    def insert_then_delete_all():
+        store = CuckooGraph()
+        for u, v in edges:
+            store.insert_edge(u, v)
+        for u, v in edges:
+            store.delete_edge(u, v)
+        return store.num_edges
+
+    assert benchmark_callable(benchmark, insert_then_delete_all) == 0

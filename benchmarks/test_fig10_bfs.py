@@ -1,0 +1,7 @@
+"""Figure 10: BFS running time from the highest-total-degree roots."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig10_bfs_running_time(benchmark):
+    run_analytics_figure("fig10_bfs", "BFS", benchmark, root_count=3)

@@ -1,0 +1,8 @@
+"""Figure 11: SSSP (Dijkstra) running time from the top-degree sources."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig11_sssp_running_time(benchmark):
+    run_analytics_figure("fig11_sssp", "SSSP", benchmark,
+                         subgraph_nodes=150, source_count=10)

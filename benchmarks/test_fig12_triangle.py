@@ -1,0 +1,8 @@
+"""Figure 12: triangle counting around the highest-degree nodes."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig12_triangle_counting_running_time(benchmark):
+    run_analytics_figure("fig12_triangle", "TC", benchmark,
+                         stream_limit=1200, node_count=3)

@@ -1,0 +1,7 @@
+"""Figure 13: connected components (Tarjan) on the top-degree subgraph."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig13_connected_components_running_time(benchmark):
+    run_analytics_figure("fig13_cc", "CC", benchmark, subgraph_nodes=150)

@@ -1,0 +1,8 @@
+"""Figure 14: PageRank (100 iterations) on the top-degree subgraph."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig14_pagerank_running_time(benchmark):
+    run_analytics_figure("fig14_pagerank", "PR", benchmark,
+                         subgraph_nodes=150, iterations=100)

@@ -1,0 +1,8 @@
+"""Figure 15: betweenness centrality (Brandes) on the top-degree subgraph."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig15_betweenness_running_time(benchmark):
+    run_analytics_figure("fig15_bc", "BC", benchmark,
+                         stream_limit=1200, subgraph_nodes=100)

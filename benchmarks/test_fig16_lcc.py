@@ -1,0 +1,8 @@
+"""Figure 16: local clustering coefficient on the top-degree subgraph."""
+
+from .conftest import run_analytics_figure
+
+
+def test_fig16_lcc_running_time(benchmark):
+    run_analytics_figure("fig16_lcc", "LCC", benchmark,
+                         stream_limit=1200, subgraph_nodes=120)

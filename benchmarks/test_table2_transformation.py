@@ -1,0 +1,41 @@
+"""Table II: the transformation rule of the S-CHT chain lengths (R = 3)."""
+
+from repro.bench import format_table
+from repro.core import CuckooGraph, CuckooGraphConfig
+
+from .conftest import benchmark_callable, write_report
+
+
+def test_table2_transformation_rule(benchmark):
+    """Grow one node's neighbourhood and record the chain lengths per step."""
+    config = CuckooGraphConfig(initial_scht_length=4)
+    n = config.initial_scht_length
+
+    def grow(neighbours: int) -> list[list[int]]:
+        graph = CuckooGraph(config)
+        observed: list[list[int]] = []
+        for v in range(neighbours):
+            graph.insert_edge(0, v)
+            part2 = graph.part2_of(0)
+            if part2 is not None and part2.is_transformed:
+                lengths = part2.chain.table_lengths
+                if not observed or observed[-1] != lengths:
+                    observed.append(list(lengths))
+        return observed
+
+    observed = grow(3000)
+    rows = [{"step": index, "table_lengths": lengths}
+            for index, lengths in enumerate(observed)]
+    write_report("table2_transformation",
+                 format_table(rows, title="Observed S-CHT chain states (Table II rule)"))
+
+    # The Table II prefix with n = initial length: [n], [n, n/2], [n, n/2, n/2],
+    # then a merge to [2n, n] and so on; the observed states must follow it.
+    expected_prefix = [
+        [n], [n, n // 2], [n, n // 2, n // 2],
+        [2 * n, n], [2 * n, n, n],
+        [4 * n, 2 * n], [4 * n, 2 * n, 2 * n],
+    ]
+    assert observed[: len(expected_prefix)] == expected_prefix
+
+    benchmark_callable(benchmark, grow, 1500)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Accelerating property-graph edge lookups with CuckooGraph (Section V-G).
+
+Loads the same relationship stream into two mini-Neo4j instances -- one plain
+(edge lookups traverse per-node adjacency lists) and one with the multi-edge
+CuckooGraph index -- and compares the time to answer the paper's query
+workload: find the relationships between every distinct node pair.
+
+Run with::
+
+    python examples/database_acceleration.py
+"""
+
+import time
+
+from repro.datasets import load_dataset
+from repro.integrations import MiniNeo4j
+
+
+def build(use_index: bool, edges) -> tuple[MiniNeo4j, float]:
+    database = MiniNeo4j(use_cuckoo_index=use_index)
+    start = time.perf_counter()
+    database.load_edge_stream(edges, rel_type="CONNECTS")
+    return database, time.perf_counter() - start
+
+
+def query_all(database: MiniNeo4j, pairs) -> tuple[int, float]:
+    start = time.perf_counter()
+    found = sum(len(list(database.find_relationships(u, v))) for u, v in pairs)
+    return found, time.perf_counter() - start
+
+
+def main() -> None:
+    stream = load_dataset("CAIDA").prefix(20000)
+    pairs = list(stream.deduplicated())
+    print(f"loading {len(stream)} relationships over {len(pairs)} distinct pairs\n")
+
+    results = {}
+    for label, use_index in (("plain Neo4j", False), ("Neo4j + CuckooGraph", True)):
+        database, insert_seconds = build(use_index, stream)
+        found, query_seconds = query_all(database, pairs)
+        results[label] = (insert_seconds, query_seconds)
+        print(f"{label:<22s} insert {insert_seconds:7.3f} s   "
+              f"query {query_seconds:7.3f} s   ({found} relationships found)")
+
+    plain_query = results["plain Neo4j"][1]
+    indexed_query = results["Neo4j + CuckooGraph"][1]
+    print(f"\nedge-query speedup with the CuckooGraph index: "
+          f"{plain_query / indexed_query:.2f}x")
+    print("(insertion pays only the small overhead of maintaining the index, "
+          "matching Figure 18)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build, query, mutate and inspect a CuckooGraph.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CuckooGraph, CuckooGraphConfig, WeightedCuckooGraph
+
+
+def basic_usage() -> None:
+    """The basic (distinct-edge) version: insert, query, delete, traverse."""
+    graph = CuckooGraph()
+
+    # Insert a handful of directed edges; True means the edge was new.
+    follows = [(1, 2), (1, 3), (2, 3), (3, 1), (3, 4)]
+    for u, v in follows:
+        assert graph.insert_edge(u, v)
+    assert not graph.insert_edge(1, 2)  # duplicates are ignored
+
+    print("edges stored:", graph.num_edges)
+    print("successors of 1:", sorted(graph.successors(1)))
+    print("1 -> 3 exists?", graph.has_edge(1, 3))
+    print("3 -> 2 exists?", graph.has_edge(3, 2))
+
+    # Deleting the last edge of a node removes the node from the structure.
+    graph.delete_edge(3, 4)
+    print("after deletion, successors of 3:", sorted(graph.successors(3)))
+
+    # The structure summary shows the TRANSFORMATION state and memory model.
+    print("structure:", graph.structure_summary())
+
+
+def weighted_usage() -> None:
+    """The extended (streaming) version counts duplicate edges with weights."""
+    stream = [(1, 2), (1, 2), (2, 3), (1, 2), (2, 3)]
+    graph = WeightedCuckooGraph()
+    for u, v in stream:
+        graph.insert_weighted_edge(u, v)
+    print("\nweighted edges:", sorted(graph.weighted_edges()))
+    print("weight of (1, 2):", graph.edge_weight(1, 2))
+    graph.delete_edge(1, 2)           # decrements the weight
+    print("after one deletion:", graph.edge_weight(1, 2))
+
+
+def tuned_configuration() -> None:
+    """Every paper parameter (d, R, G, Λ, T, ...) is exposed on the config."""
+    config = CuckooGraphConfig(d=4, R=3, G=0.85, lam=0.4, T=150)
+    graph = CuckooGraph(config)
+    for v in range(100):
+        graph.insert_edge(0, v)
+    part2 = graph.part2_of(0)
+    print("\nwith d=4: node 0 uses an S-CHT chain of lengths",
+          part2.chain.table_lengths)
+    print("modelled memory:", graph.memory_bytes(), "bytes")
+
+
+if __name__ == "__main__":
+    basic_usage()
+    weighted_usage()
+    tuned_configuration()

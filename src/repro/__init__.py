@@ -1,0 +1,40 @@
+"""CuckooGraph reproduction: a space-time efficient dynamic-graph store.
+
+This package reproduces the system described in *CuckooGraph: A Scalable and
+Space-Time Efficient Data Structure for Large-Scale Dynamic Graphs*
+(ICDE 2025) in pure Python, together with the competitor baselines, graph
+analytics tasks, synthetic datasets and database integrations its evaluation
+relies on.
+
+Quickstart::
+
+    from repro import CuckooGraph
+
+    graph = CuckooGraph()
+    graph.insert_edge(1, 2)
+    graph.insert_edge(1, 3)
+    assert graph.has_edge(1, 2)
+    assert sorted(graph.successors(1)) == [2, 3]
+"""
+
+from .core import (
+    CuckooGraph,
+    CuckooGraphConfig,
+    MultiEdgeCuckooGraph,
+    PAPER_CONFIG,
+    WeightedCuckooGraph,
+)
+from .interfaces import DynamicGraphStore, WeightedGraphStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuckooGraph",
+    "CuckooGraphConfig",
+    "DynamicGraphStore",
+    "MultiEdgeCuckooGraph",
+    "PAPER_CONFIG",
+    "WeightedCuckooGraph",
+    "WeightedGraphStore",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Graph analytics kernels used by the paper's evaluation (Section V-E).
+
+Every kernel operates on any :class:`~repro.interfaces.DynamicGraphStore`
+through its successor / edge queries, so the same code path is timed for
+CuckooGraph and for every baseline -- exactly the paper's methodology.
+"""
+
+from .betweenness import betweenness_centrality, top_betweenness
+from .bfs import bfs, bfs_from_top_nodes, bfs_levels
+from .components import (
+    count_components,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from .lcc import (
+    all_local_clustering_coefficients,
+    average_clustering,
+    local_clustering_coefficient,
+)
+from .pagerank import pagerank, top_ranked
+from .sssp import dijkstra, shortest_path, sssp_from_sources
+from .subgraph import (
+    extract_subgraph,
+    induced_edges,
+    top_degree_nodes,
+    top_degree_subgraph,
+    total_degrees,
+)
+from .triangles import count_triangles, count_triangles_of_node, total_directed_triangles
+
+__all__ = [
+    "all_local_clustering_coefficients",
+    "average_clustering",
+    "betweenness_centrality",
+    "bfs",
+    "bfs_from_top_nodes",
+    "bfs_levels",
+    "count_components",
+    "count_triangles",
+    "count_triangles_of_node",
+    "dijkstra",
+    "extract_subgraph",
+    "induced_edges",
+    "local_clustering_coefficient",
+    "pagerank",
+    "shortest_path",
+    "sssp_from_sources",
+    "strongly_connected_components",
+    "top_betweenness",
+    "top_degree_nodes",
+    "top_degree_subgraph",
+    "top_ranked",
+    "total_degrees",
+    "total_directed_triangles",
+    "weakly_connected_components",
+]

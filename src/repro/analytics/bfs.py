@@ -1,0 +1,57 @@
+"""Breadth-First Search over a dynamic graph store (Section V-E1).
+
+The paper's BFS experiment performs a traversal from each of the
+highest-total-degree nodes and returns the visited nodes in traversal order
+together with their count.  The kernel only relies on the store's successor
+query, which is the operation whose locality the experiment is designed to
+stress.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..interfaces import DynamicGraphStore
+from .subgraph import top_degree_nodes
+
+
+def bfs(store: DynamicGraphStore, source: int) -> list[int]:
+    """Return the nodes reachable from ``source`` in BFS visitation order."""
+    order: list[int] = [source]
+    visited: set[int] = {source}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbour in store.successors(node):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                order.append(neighbour)
+                queue.append(neighbour)
+    return order
+
+
+def bfs_levels(store: DynamicGraphStore, source: int) -> dict[int, int]:
+    """Return the BFS depth of every node reachable from ``source``."""
+    levels: dict[int, int] = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = levels[node]
+        for neighbour in store.successors(node):
+            if neighbour not in levels:
+                levels[neighbour] = depth + 1
+                queue.append(neighbour)
+    return levels
+
+
+def bfs_from_top_nodes(
+    store: DynamicGraphStore, roots: Iterable[int] | None = None, root_count: int = 10
+) -> list[tuple[int, int]]:
+    """Run BFS from each root and report ``(root, reachable_count)`` pairs.
+
+    When ``roots`` is not given, the ``root_count`` nodes with the largest
+    total degree are used, matching the paper's methodology.
+    """
+    selected = list(roots) if roots is not None else top_degree_nodes(store, root_count)
+    return [(root, len(bfs(store, root))) for root in selected]

@@ -1,0 +1,38 @@
+"""Competitor and substrate graph stores used by the paper's evaluation.
+
+The benchmarked competitors (Figures 6-16) are :class:`LiveGraphStore`,
+:class:`SortledtonStore`, :class:`WindBellIndex` and :class:`SpruceStore`;
+:class:`AdjacencyListGraph`, :class:`CSRGraph`, :class:`PackedMemoryArray`
+and :class:`PCSRGraph` are the classical substrates the related-work section
+builds on, kept here both as motivation examples and as reference models for
+the tests.
+"""
+
+from .adjacency import AdjacencyListGraph
+from .csr import CSRGraph
+from .livegraph import LiveGraphStore
+from .pcsr import PCSRGraph
+from .pma import PackedMemoryArray
+from .sortledton import SortledtonStore
+from .spruce import SpruceStore
+from .wbi import WindBellIndex
+
+#: The schemes compared against CuckooGraph in the paper's evaluation section.
+COMPETITORS = {
+    "LiveGraph": LiveGraphStore,
+    "Spruce": SpruceStore,
+    "Sortledton": SortledtonStore,
+    "WBI": WindBellIndex,
+}
+
+__all__ = [
+    "AdjacencyListGraph",
+    "COMPETITORS",
+    "CSRGraph",
+    "LiveGraphStore",
+    "PCSRGraph",
+    "PackedMemoryArray",
+    "SortledtonStore",
+    "SpruceStore",
+    "WindBellIndex",
+]

@@ -1,0 +1,120 @@
+"""Classic adjacency-list graph store.
+
+This is the textbook baseline the paper's introduction motivates against: a
+per-node linked list of neighbours.  It is easy to update but pointer
+intensive -- every edge pays a ``next`` pointer, every node pays a list head
+allocation -- and edge queries must scan the source node's whole list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..interfaces import DynamicGraphStore
+from ..memmodel.layout import (
+    ALLOC_OVERHEAD_BYTES,
+    adjacency_entry_bytes,
+    adjacency_node_bytes,
+)
+
+
+class AdjacencyListGraph(DynamicGraphStore):
+    """Directed graph stored as one neighbour list per source node.
+
+    The Python representation uses a list per node, but the memory model
+    charges the linked-list layout the paper describes (neighbour id plus a
+    next pointer per edge, one allocated head per node), and edge queries
+    deliberately perform the linear scan a linked list would.
+    """
+
+    name = "AdjacencyList"
+
+    def __init__(self):
+        self._adjacency: dict[int, list[int]] = {}
+        self._num_edges = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------ #
+    # DynamicGraphStore API
+    # ------------------------------------------------------------------ #
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        neighbours = self._adjacency.get(u)
+        self.accesses += 1  # list head lookup
+        if neighbours is None:
+            self._adjacency[u] = [v]
+            self._num_edges += 1
+            self.accesses += 1
+            return True
+        # Linear duplicate check, as a raw adjacency list has no index; every
+        # linked node touched is one (non-contiguous) memory access.
+        self.accesses += len(neighbours)
+        if v in neighbours:
+            return False
+        neighbours.append(v)
+        self._num_edges += 1
+        self.accesses += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        neighbours = self._adjacency.get(u)
+        self.accesses += 1
+        if neighbours is None:
+            return False
+        try:
+            position = neighbours.index(v)
+        except ValueError:
+            self.accesses += len(neighbours)
+            return False
+        self.accesses += position + 1
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        neighbours = self._adjacency.get(u)
+        self.accesses += 1
+        if neighbours is None:
+            return False
+        try:
+            position = neighbours.index(v)
+        except ValueError:
+            self.accesses += len(neighbours)
+            return False
+        self.accesses += position + 1
+        del neighbours[position]
+        if not neighbours:
+            del self._adjacency[u]
+        self._num_edges -= 1
+        return True
+
+    def successors(self, u: int) -> list[int]:
+        neighbours = self._adjacency.get(u, ())
+        self.accesses += 1 + len(neighbours)
+        return list(neighbours)
+
+    def out_degree(self, u: int) -> int:
+        return len(self._adjacency.get(u, ()))
+
+    def has_node(self, u: int) -> bool:
+        return u in self._adjacency
+
+    def source_nodes(self) -> Iterator[int]:
+        yield from self._adjacency.keys()
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, neighbours in self._adjacency.items():
+            for v in neighbours:
+                yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Linked-list layout: a head per node plus (id, next) per edge."""
+        node_cost = len(self._adjacency) * (adjacency_node_bytes() + ALLOC_OVERHEAD_BYTES)
+        edge_cost = self._num_edges * adjacency_entry_bytes()
+        return node_cost + edge_cost

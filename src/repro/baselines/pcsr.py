@@ -1,0 +1,95 @@
+"""PCSR: Packed Compressed Sparse Row (Wheatman & Xu, HPEC 2018).
+
+PCSR replaces CSR's static neighbour array with a Packed Memory Array so the
+structure stays updatable: all ``(u, v)`` pairs live in one PMA ordered by
+``(u, v)``, and a per-node index records where each node's run begins.  The
+run boundaries are implicit here (range scans over the PMA), which keeps the
+implementation close to the published idea while reusing the
+:class:`~repro.baselines.pma.PackedMemoryArray` substrate directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..interfaces import DynamicGraphStore
+from ..memmodel.layout import ID_BYTES, POINTER_BYTES
+from .pma import PackedMemoryArray
+
+
+class PCSRGraph(DynamicGraphStore):
+    """Dynamic CSR whose edge storage is a Packed Memory Array.
+
+    Edges are stored as ``(u, v)`` tuples in a single PMA sorted
+    lexicographically; ``successors(u)`` is a range scan over ``(u, *)``.
+    """
+
+    name = "PCSR"
+
+    def __init__(self, segment_capacity: int = 8):
+        self._pma = PackedMemoryArray(segment_capacity=segment_capacity)
+        self._degrees: dict[int, int] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # DynamicGraphStore API
+    # ------------------------------------------------------------------ #
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        if not self._pma.insert((u, v)):
+            return False
+        self._degrees[u] = self._degrees.get(u, 0) + 1
+        self._num_edges += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._pma
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        if not self._pma.delete((u, v)):
+            return False
+        remaining = self._degrees.get(u, 0) - 1
+        if remaining <= 0:
+            self._degrees.pop(u, None)
+        else:
+            self._degrees[u] = remaining
+        self._num_edges -= 1
+        return True
+
+    def successors(self, u: int) -> list[int]:
+        return [v for (_, v) in self._pma.range((u, -1), (u + 1, -1))]
+
+    def out_degree(self, u: int) -> int:
+        return self._degrees.get(u, 0)
+
+    def has_node(self, u: int) -> bool:
+        return u in self._degrees
+
+    def source_nodes(self) -> Iterator[int]:
+        yield from self._degrees.keys()
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        yield from self._pma
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """PMA slots (gaps included, two ids per slot) plus the vertex index."""
+        slot_bytes = 2 * ID_BYTES
+        index_bytes = len(self._degrees) * (ID_BYTES + POINTER_BYTES)
+        return self._pma.modelled_bytes(slot_bytes) + index_bytes
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pma(self) -> PackedMemoryArray:
+        """The underlying Packed Memory Array (exposed for tests)."""
+        return self._pma

@@ -1,0 +1,232 @@
+"""Packed Memory Array (PMA).
+
+The PMA is the substrate behind PCSR/VCSR/Teseo: a sorted array with empty
+slots interspersed so that insertions and deletions only shift a small
+window of elements.  The array is viewed as a full binary tree of segments;
+when a segment's density leaves the allowed range, the smallest enclosing
+window whose density is acceptable is rebalanced (its elements are spread out
+evenly), and the whole array doubles or halves when even the root window is
+out of range.
+
+This implementation follows the classic design of Bender & Hu ("An adaptive
+packed-memory array") with the standard density thresholds, storing arbitrary
+comparable keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+#: Marker for an empty PMA slot.
+_EMPTY = None
+
+
+class PackedMemoryArray:
+    """A sorted dynamic array with interspersed gaps.
+
+    Args:
+        segment_capacity: Number of slots per leaf segment (power of two).
+        root_density_range: (lower, upper) density bounds at the root.
+        leaf_density_range: (lower, upper) density bounds at the leaves.
+    """
+
+    def __init__(
+        self,
+        segment_capacity: int = 8,
+        root_density_range: tuple[float, float] = (0.3, 0.7),
+        leaf_density_range: tuple[float, float] = (0.1, 0.9),
+    ):
+        if segment_capacity < 2 or segment_capacity & (segment_capacity - 1):
+            raise ValueError("segment_capacity must be a power of two >= 2")
+        self.segment_capacity = segment_capacity
+        self.root_density_range = root_density_range
+        self.leaf_density_range = leaf_density_range
+        self._slots: list = [_EMPTY] * segment_capacity
+        self._size = 0
+        self.rebalances = 0
+        self.resizes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots currently allocated."""
+        return len(self._slots)
+
+    @property
+    def density(self) -> float:
+        """Overall fill fraction."""
+        return self._size / len(self._slots)
+
+    def __contains__(self, key) -> bool:
+        return self._find_slot(key) is not None
+
+    def __iter__(self) -> Iterator:
+        for value in self._slots:
+            if value is not _EMPTY:
+                yield value
+
+    def items(self) -> list:
+        """Return the stored keys in sorted order."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key) -> bool:
+        """Insert ``key`` keeping sorted order; return ``False`` if present."""
+        if key in self:
+            return False
+        position = self._position_for(key)
+        self._insert_at(position, key)
+        self._size += 1
+        self._rebalance_around(position)
+        return True
+
+    def delete(self, key) -> bool:
+        """Remove ``key``; return ``True`` if it was present."""
+        slot = self._find_slot(key)
+        if slot is None:
+            return False
+        self._slots[slot] = _EMPTY
+        self._size -= 1
+        self._rebalance_around(slot)
+        return True
+
+    def range(self, low, high) -> Iterator:
+        """Iterate over stored keys with ``low <= key < high``."""
+        for value in self:
+            if value >= high:
+                break
+            if value >= low:
+                yield value
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def modelled_bytes(self, bytes_per_slot: int) -> int:
+        """Every allocated slot costs ``bytes_per_slot`` (gaps included)."""
+        return len(self._slots) * bytes_per_slot
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _num_segments(self) -> int:
+        return len(self._slots) // self.segment_capacity
+
+    def _tree_height(self) -> int:
+        return max(1, int(math.log2(self._num_segments())) + 1)
+
+    def _density_bounds(self, level: int, height: int) -> tuple[float, float]:
+        """Interpolate leaf and root density bounds for a window at ``level``."""
+        leaf_low, leaf_high = self.leaf_density_range
+        root_low, root_high = self.root_density_range
+        if height <= 1:
+            return root_low, root_high
+        fraction = level / (height - 1)
+        low = leaf_low + (root_low - leaf_low) * fraction
+        high = leaf_high + (root_high - leaf_high) * fraction
+        return low, high
+
+    def _position_for(self, key) -> int:
+        """Slot index before which ``key`` should be placed to keep order."""
+        best = len(self._slots)
+        for index, value in enumerate(self._slots):
+            if value is not _EMPTY and value >= key:
+                best = index
+                break
+        return best
+
+    def _find_slot(self, key) -> Optional[int]:
+        for index, value in enumerate(self._slots):
+            if value is not _EMPTY and value == key:
+                return index
+        return None
+
+    def _insert_at(self, position: int, key) -> None:
+        """Place ``key`` at ``position``, shifting towards the nearest gap."""
+        # Look right for a gap, then left.
+        right_gap = None
+        for index in range(position, len(self._slots)):
+            if self._slots[index] is _EMPTY:
+                right_gap = index
+                break
+        if right_gap is not None:
+            for index in range(right_gap, position, -1):
+                self._slots[index] = self._slots[index - 1]
+            self._slots[position] = key
+            return
+        left_gap = None
+        for index in range(min(position, len(self._slots) - 1), -1, -1):
+            if self._slots[index] is _EMPTY:
+                left_gap = index
+                break
+        if left_gap is None:
+            # Completely full; grow and retry.
+            self._resize(len(self._slots) * 2)
+            self._insert_at(self._position_for(key), key)
+            return
+        for index in range(left_gap, position - 1):
+            self._slots[index] = self._slots[index + 1]
+        self._slots[position - 1] = key
+
+    def _rebalance_around(self, position: int) -> None:
+        """Rebalance the smallest window around ``position`` within density bounds."""
+        height = self._tree_height()
+        window = self.segment_capacity
+        start = (position // window) * window
+        level = 0
+        while True:
+            occupied = sum(
+                1 for value in self._slots[start:start + window] if value is not _EMPTY
+            )
+            low, high = self._density_bounds(level, height)
+            density = occupied / window
+            if low <= density <= high:
+                return
+            if window >= len(self._slots):
+                break
+            window *= 2
+            start = (start // window) * window
+            level += 1
+        # Root window out of bounds: resize the whole array.
+        if self.density > self.root_density_range[1]:
+            self._resize(len(self._slots) * 2)
+        elif self.density < self.root_density_range[0] and len(self._slots) > self.segment_capacity:
+            self._resize(max(self.segment_capacity, len(self._slots) // 2))
+        else:
+            self._spread(0, len(self._slots))
+
+    def _resize(self, new_capacity: int) -> None:
+        values = list(self)
+        new_capacity = max(new_capacity, self.segment_capacity)
+        while new_capacity < len(values):
+            new_capacity *= 2
+        self._slots = [_EMPTY] * new_capacity
+        self._size = 0
+        self._spread_values(values, 0, new_capacity)
+        self._size = len(values)
+        self.resizes += 1
+
+    def _spread(self, start: int, length: int) -> None:
+        values = [v for v in self._slots[start:start + length] if v is not _EMPTY]
+        self._spread_values(values, start, length)
+        self.rebalances += 1
+
+    def _spread_values(self, values: list, start: int, length: int) -> None:
+        for index in range(start, start + length):
+            self._slots[index] = _EMPTY
+        if not values:
+            return
+        step = length / len(values)
+        for rank, value in enumerate(values):
+            self._slots[start + min(length - 1, int(rank * step))] = value

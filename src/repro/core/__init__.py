@@ -1,0 +1,56 @@
+"""Core CuckooGraph data structures (the paper's primary contribution).
+
+The public entry points are:
+
+* :class:`~repro.core.graph.CuckooGraph` -- the basic version storing
+  distinct directed edges (Section III-A);
+* :class:`~repro.core.weighted.WeightedCuckooGraph` -- the extended version
+  that counts duplicate edges with per-edge weights (Section III-B);
+* :class:`~repro.core.multiedge.MultiEdgeCuckooGraph` -- the Neo4j-flavoured
+  variant keeping a list of parallel-edge identifiers per node pair
+  (Section V-G);
+* :class:`~repro.core.config.CuckooGraphConfig` -- the parameter set
+  (``d``, ``R``, ``G``, ``Λ``, ``T``, ...).
+"""
+
+from .chain import TableChain
+from .config import CuckooGraphConfig, PAPER_CONFIG, tuning_grid
+from .counters import Counters
+from .cuckoo_table import CuckooHashTable
+from .denylist import LargeDenylist, SmallDenylist
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    CuckooGraphError,
+    IntegrationError,
+    NotFoundError,
+)
+from .graph import CuckooGraph
+from .hashing import BobHash, HashFamily, ModularHash, MultiplyShiftHash
+from .multiedge import MultiEdgeCuckooGraph
+from .slots import AdjacencyPart2
+from .weighted import WeightedCuckooGraph
+
+__all__ = [
+    "AdjacencyPart2",
+    "BobHash",
+    "CapacityError",
+    "ConfigurationError",
+    "Counters",
+    "CuckooGraph",
+    "CuckooGraphConfig",
+    "CuckooGraphError",
+    "CuckooHashTable",
+    "HashFamily",
+    "IntegrationError",
+    "LargeDenylist",
+    "ModularHash",
+    "MultiEdgeCuckooGraph",
+    "MultiplyShiftHash",
+    "NotFoundError",
+    "PAPER_CONFIG",
+    "SmallDenylist",
+    "TableChain",
+    "WeightedCuckooGraph",
+    "tuning_grid",
+]

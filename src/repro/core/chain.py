@@ -1,0 +1,353 @@
+"""The TRANSFORMATION technique: chains of cuckoo hash tables.
+
+A *table chain* is the set of up to ``R`` cuckoo hash tables reachable from
+the ``R`` large slots of a cell (an "S-CHT chain" in the paper's terms), or
+equivalently the set of L-CHTs a graph maintains.  The chain smoothly expands
+and contracts following the rule illustrated by Table II of the paper
+(reproduced here for ``R = 3`` with initial length ``n``)::
+
+    step  tables (lengths)
+    0     [n]
+    1     [n, n/2]
+    2     [n, n/2, n/2]
+    3     [2n, n]           <- the three tables merge into one of length 2n,
+    4     [2n, n, n]           and a fresh table of half that length opens
+    5     [4n, 2n]
+    6     [4n, 2n, 2n]
+    ...
+
+Forward transformation (expansion) triggers when the most recently enabled
+table's loading rate reaches ``G`` before a new item arrives.  Reverse
+transformation (contraction) triggers when a deletion drops the chain's
+*overall* loading rate below ``Λ``: with two or more tables the table that
+held the deleted item is dissolved into its siblings; with a single table the
+table is compressed to half its length.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+from .config import CuckooGraphConfig
+from .counters import Counters
+from .cuckoo_table import CuckooHashTable
+from .hashing import HashFamily
+
+#: Type of the optional hook used to drain denylisted items back into a chain
+#: right after it expands.  It must return ``(key, value)`` pairs and remove
+#: them from wherever they were parked.
+DrainSource = Callable[[], list[tuple[int, object]]]
+
+
+class TableChain:
+    """A chain of cuckoo hash tables governed by the TRANSFORMATION rule.
+
+    The chain behaves as a single ``key -> value`` map whose capacity grows
+    and shrinks in the pattern of Table II.  Insertion failures are *not*
+    swallowed: the leftover pairs are returned to the caller, which routes
+    them to the appropriate denylist (or forces an expansion when running the
+    denylist-free ablation).
+
+    Args:
+        config: Graph-wide parameter set.
+        hash_family: Source of hash-function pairs for newly enabled tables.
+        initial_length: Length ``n`` of the first table.
+        counters: Shared operation counters.
+        rng: Random source for eviction decisions.
+        drain_source: Optional hook returning previously denylisted items that
+            belong to this chain; called after every expansion, per the
+            DENYLIST design ("each time it is the S-CHT's turn to expand ...").
+    """
+
+    __slots__ = (
+        "config",
+        "_family",
+        "_initial_length",
+        "_counters",
+        "_rng",
+        "tables",
+        "drain_source",
+        "transform_step",
+    )
+
+    def __init__(
+        self,
+        config: CuckooGraphConfig,
+        hash_family: HashFamily,
+        initial_length: int,
+        counters: Optional[Counters] = None,
+        rng: Optional[random.Random] = None,
+        drain_source: Optional[DrainSource] = None,
+    ):
+        self.config = config
+        self._family = hash_family
+        self._initial_length = max(1, initial_length)
+        self._counters = counters if counters is not None else Counters()
+        self._rng = rng if rng is not None else random.Random(config.seed)
+        self.drain_source = drain_source
+        self.transform_step = 0
+        self.tables: list[CuckooHashTable] = [self._new_table(self._initial_length)]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _new_table(self, length: int) -> CuckooHashTable:
+        return CuckooHashTable(
+            length=max(1, length),
+            d=self.config.d,
+            hash_pair=self._family.make_pair(),
+            max_kicks=self.config.T,
+            array_ratio=self.config.array_ratio,
+            counters=self._counters,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of currently enabled tables in the chain."""
+        return len(self.tables)
+
+    @property
+    def table_lengths(self) -> list[int]:
+        """Lengths of the enabled tables, oldest first (matches Table II rows)."""
+        return [table.length for table in self.tables]
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of allocated cells across the chain."""
+        return sum(table.num_cells for table in self.tables)
+
+    @property
+    def overall_loading_rate(self) -> float:
+        """Items divided by allocated cells across the whole chain."""
+        cells = self.total_cells
+        return len(self) / cells if cells else 0.0
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Iterate over every ``(key, value)`` pair stored in the chain."""
+        for table in self.tables:
+            yield from table.items()
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over every key stored in the chain."""
+        for table in self.tables:
+            yield from table.keys()
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert / delete
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: int, default=None):
+        """Return the value stored for ``key``, searching every table."""
+        for table in self.tables:
+            value = table.get(key, _MISSING)
+            if value is not _MISSING:
+                return value
+        return default
+
+    def update(self, key: int, value) -> bool:
+        """Overwrite the value of an existing key; ``False`` when it is absent."""
+        for table in self.tables:
+            if table.update(key, value):
+                return True
+        return False
+
+    def insert(self, key: int, value=None, assume_absent: bool = False) -> list[tuple[int, object]]:
+        """Insert ``key -> value`` into the chain.
+
+        Returns the (possibly empty) list of pairs that could not be placed
+        anywhere even after kick-outs; the caller is responsible for parking
+        them in a denylist or forcing an expansion.
+
+        Args:
+            key: Key to insert.
+            value: Value to associate with the key.
+            assume_absent: Skip the older-table overwrite scan.  Callers that
+                have just queried the chain (the graph's Insertion Step 1)
+                pass ``True`` so the pre-query is not paid twice.
+        """
+        # Overwrite in place when the key already lives in an *older* table,
+        # so a chain never holds two copies of the same key.  The newest
+        # table handles its own overwrite inside ``insert`` at no extra probe
+        # cost, so single-table chains (the common case) skip this scan.
+        if not assume_absent:
+            for table in self.tables[:-1]:
+                if key in table:
+                    table.insert(key, value)
+                    return []
+
+        newest = self.tables[-1]
+        leftovers: list[tuple[int, object]] = []
+        if newest.would_exceed_threshold(self.config.G, extra=1) or (
+            newest.loading_rate >= self.config.G
+        ):
+            leftovers.extend(self.expand())
+            newest = self.tables[-1]
+
+        leftover = newest.insert(key, value)
+        if leftover is not None:
+            leftovers.append(leftover)
+        return leftovers
+
+    def delete(self, key: int) -> tuple[bool, list[tuple[int, object]]]:
+        """Delete ``key`` from the chain.
+
+        Returns ``(deleted, leftovers)`` where ``leftovers`` are pairs that
+        became homeless during a reverse transformation triggered by this
+        deletion.
+        """
+        holder_index: Optional[int] = None
+        for index, table in enumerate(self.tables):
+            if table.delete(key):
+                holder_index = index
+                break
+        if holder_index is None:
+            return False, []
+
+        leftovers: list[tuple[int, object]] = []
+        if len(self) > 0 and self.overall_loading_rate < self.config.lam:
+            leftovers = self._reverse_transform(holder_index)
+        return True, leftovers
+
+    # ------------------------------------------------------------------ #
+    # Forward transformation
+    # ------------------------------------------------------------------ #
+
+    def expand(self) -> list[tuple[int, object]]:
+        """Advance the chain one step of the transformation rule.
+
+        Either enables a fresh table (half the length of the first one) or,
+        when ``R`` tables are already enabled, merges them all into a single
+        table of twice the first table's length and opens a fresh half-length
+        table next to it.  Returns pairs that could not be re-homed during a
+        merge.
+        """
+        self._counters.expansions += 1
+        self.transform_step += 1
+        leftovers: list[tuple[int, object]] = []
+        if len(self.tables) < self.config.R:
+            new_length = max(1, self.tables[0].length // 2)
+            self.tables.append(self._new_table(new_length))
+        else:
+            merged_length = self.tables[0].length * 2
+            residents: list[tuple[int, object]] = []
+            for table in self.tables:
+                residents.extend(table.pop_all())
+            merged = self._new_table(merged_length)
+            fresh = self._new_table(max(1, merged_length // 2))
+            self.tables = [merged, fresh]
+            leftovers.extend(self._reinsert(residents, targets=[merged, fresh]))
+        leftovers.extend(self._drain_denylist())
+        return leftovers
+
+    def expand_on_failure(self, factor: Optional[float] = None) -> list[tuple[int, object]]:
+        """Grow the newest table by ``factor`` and rehash it.
+
+        This is the denylist-free fallback evaluated by the ablation study
+        (Section V-C): every insertion failure expands the structure to 1.5x
+        its original size instead of parking the item in a denylist.
+        """
+        factor = factor if factor is not None else self.config.failure_expand_factor
+        self._counters.expansions += 1
+        newest = self.tables[-1]
+        residents = newest.pop_all()
+        grown = self._new_table(max(newest.length + 1, int(newest.length * factor)))
+        self.tables[-1] = grown
+        return self._reinsert(residents, targets=[grown])
+
+    # ------------------------------------------------------------------ #
+    # Reverse transformation
+    # ------------------------------------------------------------------ #
+
+    def _reverse_transform(self, holder_index: int) -> list[tuple[int, object]]:
+        """Contract the chain after a deletion dropped its overall LR below Λ.
+
+        The contraction is skipped when the surviving tables would end up
+        above the expansion threshold ``G`` -- contracting past that point
+        would immediately cause kick storms and re-expansion, which neither
+        the paper's design nor its Λ ≤ 2G/3 assumption intends.
+        """
+        items = len(self)
+        if len(self.tables) >= 2:
+            victim = self.tables[holder_index]
+            remaining_cells = self.total_cells - victim.num_cells
+            if remaining_cells <= 0 or items / remaining_cells > self.config.G:
+                return []
+            self._counters.contractions += 1
+            self.tables.pop(holder_index)
+            residents = victim.pop_all()
+            return self._reinsert(residents, targets=self.tables)
+        table = self.tables[0]
+        if table.length <= 1:
+            return []
+        compressed_cells = max(1, table.length // 2) * self.config.d
+        compressed_cells += max(1, max(1, table.length // 2) // self.config.array_ratio) * self.config.d
+        if items / compressed_cells > self.config.G:
+            return []
+        self._counters.contractions += 1
+        residents = table.pop_all()
+        compressed = self._new_table(max(1, table.length // 2))
+        self.tables = [compressed]
+        return self._reinsert(residents, targets=[compressed])
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _reinsert(
+        self,
+        pairs: list[tuple[int, object]],
+        targets: list[CuckooHashTable],
+    ) -> list[tuple[int, object]]:
+        """Re-home ``pairs`` into ``targets``; return the ones that failed."""
+        leftovers: list[tuple[int, object]] = []
+        self._counters.rehashed_items += len(pairs)
+        for key, value in pairs:
+            placed = False
+            last_leftover: Optional[tuple[int, object]] = None
+            # Fill the least-loaded table first: re-homing into an almost-full
+            # table would burn the whole kick budget before giving up.
+            for table in sorted(targets, key=lambda candidate: candidate.loading_rate):
+                last_leftover = table.insert(key, value)
+                if last_leftover is None:
+                    placed = True
+                    break
+                # The insert displaced a different pair; keep chasing it.
+                key, value = last_leftover
+            if not placed and last_leftover is not None:
+                leftovers.append(last_leftover)
+        return leftovers
+
+    def _drain_denylist(self) -> list[tuple[int, object]]:
+        """Re-insert denylisted items belonging to this chain after an expansion."""
+        if self.drain_source is None:
+            return []
+        pairs = self.drain_source()
+        if not pairs:
+            return []
+        return self._reinsert(pairs, targets=list(self.tables))
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def modelled_bytes(self, bytes_per_cell: int, bucket_overhead: int = 0) -> int:
+        """Modelled C++ footprint of every table in the chain."""
+        return sum(
+            table.modelled_bytes(bytes_per_cell, bucket_overhead) for table in self.tables
+        )
+
+
+_MISSING = object()

@@ -1,0 +1,252 @@
+"""A multi-cell cuckoo hash table with two bucket arrays.
+
+This is the building block behind both the large cuckoo hash table (L-CHT)
+and the small cuckoo hash tables (S-CHT) of CuckooGraph.  Structurally it
+follows Section II-C and III-A1 of the paper:
+
+* two bucket arrays ``B1`` and ``B2`` whose bucket counts are in a 2:1 ratio,
+  each associated with an independent hash function;
+* every bucket holds ``d`` cells;
+* an insertion probes the two candidate buckets, uses an empty cell if one
+  exists, and otherwise kicks a random resident to its alternate bucket,
+  repeating up to ``T`` kicks before declaring failure;
+* the *length* of the table is the bucket count of the larger array, and the
+  loading rate is ``items / (d * total_buckets)``.
+
+The table is a generic ``key -> value`` map: S-CHTs store neighbour ids
+(value ``None`` in the basic version, a weight or edge list in the extended
+versions) and the L-CHT stores whole cells (``u -> Part 2``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional
+
+from .counters import Counters
+from .hashing import HashFunction
+
+
+class CuckooHashTable:
+    """Bounded cuckoo hash map with ``d``-cell buckets and two arrays.
+
+    Args:
+        length: Number of buckets in the larger (first) array.
+        d: Cells per bucket.
+        hash_pair: The two hash functions associated with the table.
+        max_kicks: Maximum number of evictions before an insert fails (``T``).
+        array_ratio: Divisor giving the second array's bucket count
+            (2 reproduces the paper's 2:1 layout).
+        counters: Shared operation counters (probes, kicks, attempts).
+        rng: Random source used to pick eviction victims; pass a seeded
+            instance for deterministic behaviour.
+    """
+
+    __slots__ = (
+        "length",
+        "d",
+        "max_kicks",
+        "array_ratio",
+        "_hashes",
+        "_arrays",
+        "_size",
+        "_counters",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        length: int,
+        d: int,
+        hash_pair: tuple[HashFunction, HashFunction],
+        max_kicks: int,
+        array_ratio: int = 2,
+        counters: Optional[Counters] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if length < 1:
+            raise ValueError(f"table length must be >= 1, got {length}")
+        self.length = length
+        self.d = d
+        self.max_kicks = max_kicks
+        self.array_ratio = array_ratio
+        self._hashes = hash_pair
+        second = max(1, length // array_ratio)
+        # Each array is a list of buckets; each bucket is a dict key -> value
+        # capped at d entries.  A dict keeps lookups O(1) within the bucket
+        # while preserving the d-cell capacity semantics.
+        self._arrays: list[list[dict]] = [
+            [dict() for _ in range(length)],
+            [dict() for _ in range(second)],
+        ]
+        self._size = 0
+        self._counters = counters if counters is not None else Counters()
+        self._rng = rng if rng is not None else random.Random(0xC0FFEE)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_buckets(self) -> int:
+        """Total number of buckets across both arrays."""
+        return len(self._arrays[0]) + len(self._arrays[1])
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells (bucket count times ``d``)."""
+        return self.num_buckets * self.d
+
+    @property
+    def loading_rate(self) -> float:
+        """Fraction of cells currently occupied (``LR`` in the paper)."""
+        return self._size / self.num_cells if self.num_cells else 0.0
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Iterate over all ``(key, value)`` pairs in the table."""
+        for array in self._arrays:
+            for bucket in array:
+                yield from bucket.items()
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over all keys in the table."""
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def _bucket_for(self, key: int, which: int) -> dict:
+        array = self._arrays[which]
+        return array[self._hashes[which](key) % len(array)]
+
+    def get(self, key: int, default=None):
+        """Return the value stored for ``key`` or ``default`` if absent."""
+        counters = self._counters
+        for which in (0, 1):
+            bucket = self._bucket_for(key, which)
+            counters.bucket_probes += 1
+            counters.cell_probes += len(bucket)
+            if key in bucket:
+                return bucket[key]
+        return default
+
+    def update(self, key: int, value) -> bool:
+        """Overwrite the value of an existing key in place.
+
+        Returns ``True`` when the key was found (and updated); a missing key
+        is left untouched.  This is the single-probe-pass path the weighted
+        version uses to bump an edge weight.
+        """
+        counters = self._counters
+        for which in (0, 1):
+            bucket = self._bucket_for(key, which)
+            counters.bucket_probes += 1
+            if key in bucket:
+                bucket[key] = value
+                return True
+        return False
+
+    def insert(self, key: int, value=None) -> Optional[tuple[int, object]]:
+        """Insert ``key -> value``; return an evicted pair on failure.
+
+        Returns ``None`` when the item (and every item displaced along the
+        way) found a home.  If the kick-out budget ``T`` is exhausted the
+        final homeless pair is returned so the caller can route it to a
+        denylist or trigger an expansion.  If ``key`` is already present its
+        value is overwritten in place.
+        """
+        counters = self._counters
+        current_key, current_value = key, value
+        # A random-walk longer than the table has cells cannot make progress,
+        # so the effective kick budget of a small table is capped by its size;
+        # T remains the budget for tables big enough to use it.
+        kick_budget = min(self.max_kicks, self.num_cells)
+        for kick in range(kick_budget + 1):
+            counters.insert_attempts += 1
+            buckets = [self._bucket_for(current_key, which) for which in (0, 1)]
+            counters.bucket_probes += 2
+            if kick == 0:
+                # Overwrite in place if the key already resides in the table;
+                # the presence check reuses the buckets just probed so it
+                # costs no extra memory accesses.
+                for bucket in buckets:
+                    if current_key in bucket:
+                        bucket[current_key] = current_value
+                        return None
+            placed = False
+            for bucket in buckets:
+                if len(bucket) < self.d:
+                    bucket[current_key] = current_value
+                    self._size += 1
+                    placed = True
+                    break
+            if placed:
+                return None
+            if kick == kick_budget:
+                break
+            # Both candidate buckets are full: kick a random resident out of a
+            # randomly chosen candidate bucket and take its place.
+            victim_bucket = buckets[self._rng.randrange(2)]
+            victim_key = self._rng.choice(list(victim_bucket.keys()))
+            victim_value = victim_bucket.pop(victim_key)
+            victim_bucket[current_key] = current_value
+            counters.kicks += 1
+            current_key, current_value = victim_key, victim_value
+        counters.insert_failures += 1
+        return (current_key, current_value)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key`` from the table; return ``True`` if it was present."""
+        counters = self._counters
+        for which in (0, 1):
+            bucket = self._bucket_for(key, which)
+            counters.bucket_probes += 1
+            if key in bucket:
+                del bucket[key]
+                self._size -= 1
+                return True
+        return False
+
+    def pop_all(self) -> list[tuple[int, object]]:
+        """Remove and return every ``(key, value)`` pair (used by rebuilds)."""
+        drained = list(self.items())
+        for array in self._arrays:
+            for bucket in array:
+                bucket.clear()
+        self._size = 0
+        return drained
+
+    def would_exceed_threshold(self, threshold: float, extra: int = 1) -> bool:
+        """Whether adding ``extra`` items would push the loading rate past ``threshold``."""
+        return (self._size + extra) / self.num_cells > threshold
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def modelled_bytes(self, bytes_per_cell: int, bucket_overhead: int = 0) -> int:
+        """Modelled C++ memory footprint of the table.
+
+        Every allocated cell costs ``bytes_per_cell`` regardless of occupancy
+        (the arrays are pre-allocated), plus an optional per-bucket overhead.
+        """
+        return self.num_cells * bytes_per_cell + self.num_buckets * bucket_overhead
+
+
+_MISSING = object()
+
+
+def drain_tables(tables: Iterable[CuckooHashTable]) -> list[tuple[int, object]]:
+    """Remove and return all items from a collection of tables."""
+    drained: list[tuple[int, object]] = []
+    for table in tables:
+        drained.extend(table.pop_all())
+    return drained

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the CuckooGraph reproduction.
+
+The library prefers returning status values for expected outcomes (for
+example, an insertion that lands in a denylist is not an error), and raises
+exceptions only for conditions that indicate misuse or genuine capacity
+exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class CuckooGraphError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(CuckooGraphError):
+    """Raised when a :class:`~repro.core.config.CuckooGraphConfig` is invalid."""
+
+
+class CapacityError(CuckooGraphError):
+    """Raised when an insertion cannot be accommodated anywhere.
+
+    This only happens when both the cuckoo tables *and* the relevant denylist
+    are full.  The paper assumes denylists are "never full during insertion";
+    this exception is the explicit signal that the assumption was violated for
+    the chosen configuration.
+    """
+
+
+class NotFoundError(CuckooGraphError):
+    """Raised when an operation references a node or edge that does not exist."""
+
+
+class IntegrationError(CuckooGraphError):
+    """Raised by the database integrations (mini-Redis / mini-Neo4j)."""

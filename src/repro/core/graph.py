@@ -1,0 +1,336 @@
+"""CuckooGraph: the basic (distinct-edge) version of the data structure.
+
+This module assembles the pieces defined elsewhere in :mod:`repro.core` --
+the L-CHT chain, per-node Part 2 containers that transform into S-CHT chains,
+and the two denylists -- into the public directed-graph API described in
+Section III-A3 of the paper:
+
+* **Insertion** first queries the edge, then places the source node ``u`` in
+  the L-CHT (kicking residents if needed, parking the final homeless cell in
+  the L-DL), then places the destination ``v`` in Part 2, transforming small
+  slots into an S-CHT chain and parking unplaceable values in the S-DL.
+* **Query** probes the L-CHT(s), falls back to the L-DL for the node, then
+  probes Part 2 / the S-CHT chain, falling back to the S-DL for the value.
+* **Deletion** queries then removes, triggering the reverse transformation
+  when a chain's overall loading rate drops below ``Λ``.
+
+The class implements :class:`repro.interfaces.DynamicGraphStore`, so it is a
+drop-in peer of the baseline schemes in every benchmark and analytics task.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from ..interfaces import DynamicGraphStore
+from ..memmodel.layout import CuckooLayout
+from .chain import TableChain
+from .config import CuckooGraphConfig, PAPER_CONFIG
+from .counters import Counters
+from .denylist import LargeDenylist, SmallDenylist
+from .hashing import HashFamily
+from .slots import AdjacencyPart2
+
+
+class CuckooGraph(DynamicGraphStore):
+    """Space-time efficient store for large-scale dynamic directed graphs.
+
+    Args:
+        config: Parameter set; defaults to the paper's tuned configuration
+            (``d=8``, ``R=3``, ``G=0.9``, ``T=250``).
+
+    Example:
+        >>> graph = CuckooGraph()
+        >>> graph.insert_edge(1, 2)
+        True
+        >>> graph.has_edge(1, 2)
+        True
+        >>> sorted(graph.successors(1))
+        [2]
+    """
+
+    name = "CuckooGraph"
+
+    def __init__(self, config: Optional[CuckooGraphConfig] = None):
+        self.config = config if config is not None else PAPER_CONFIG
+        self.counters = Counters()
+        self._family = HashFamily(self.config.hash_family, self.config.seed)
+        self._rng = random.Random(self.config.seed ^ 0x5EED)
+        self._sdl = SmallDenylist(self.config.small_denylist_capacity, self.counters)
+        self._ldl = LargeDenylist(self.config.large_denylist_capacity, self.counters)
+        self._lcht = TableChain(
+            config=self.config,
+            hash_family=self._family,
+            initial_length=self.config.initial_lcht_length,
+            counters=self.counters,
+            rng=self._rng,
+            drain_source=self._ldl.drain,
+        )
+        self._num_edges = 0
+        self._access_base = 0
+        self._layout = CuckooLayout(R=self.config.R, weighted=self._weighted_layout())
+
+    # ------------------------------------------------------------------ #
+    # Modelled memory accesses
+    # ------------------------------------------------------------------ #
+
+    @property
+    def accesses(self) -> int:
+        """Modelled memory accesses: one unit per bucket probed.
+
+        With ``d = 8`` and 8-byte slots a bucket is a cache line, so bucket
+        probes are the natural cache-line-granularity unit for CuckooGraph --
+        the same granularity the baselines count (one unit per list node,
+        block or index level touched).
+        """
+        return self.counters.bucket_probes - self._access_base
+
+    def reset_accesses(self) -> None:
+        """Zero the modelled memory-access counter."""
+        self._access_base = self.counters.bucket_probes
+
+    # ------------------------------------------------------------------ #
+    # Layout hooks overridden by the extended versions
+    # ------------------------------------------------------------------ #
+
+    def _weighted_layout(self) -> bool:
+        return False
+
+    def _slot_capacity(self) -> int:
+        return self.config.small_slots_per_cell
+
+    # ------------------------------------------------------------------ #
+    # Node-level plumbing
+    # ------------------------------------------------------------------ #
+
+    def _new_part2(self, u: int) -> AdjacencyPart2:
+        """Create the Part 2 container for a newly seen source node."""
+        return AdjacencyPart2(
+            config=self.config,
+            hash_family=self._family,
+            counters=self.counters,
+            rng=self._rng,
+            slot_capacity=self._slot_capacity(),
+            drain_source=(lambda: self._sdl.drain_for_source(u)),
+        )
+
+    def _find_part2(self, u: int) -> Optional[AdjacencyPart2]:
+        """Locate the Part 2 of node ``u`` in the L-CHT chain or the L-DL."""
+        part2 = self._lcht.get(u)
+        if part2 is not None:
+            return part2
+        return self._ldl.get(u)
+
+    def _park_small(self, u: int, leftovers: list[tuple[int, object]],
+                    part2: AdjacencyPart2) -> None:
+        """Handle S-CHT insertion failures according to the denylist policy."""
+        if not leftovers:
+            return
+        if self.config.use_denylist:
+            for v, payload in leftovers:
+                self._sdl.add(u, v, payload)
+            return
+        # Ablation mode: expand on every failure instead of denylisting.
+        pending = list(leftovers)
+        while pending:
+            pending_next: list[tuple[int, object]] = []
+            pending_next.extend(part2.force_expand())
+            for v, payload in pending:
+                pending_next.extend(part2.insert(v, payload))
+            if len(pending_next) >= len(pending) and pending_next == pending:
+                # No progress; fall back to the denylist to preserve correctness.
+                for v, payload in pending_next:
+                    self._sdl.add(u, v, payload)
+                return
+            pending = pending_next
+
+    def _park_large(self, leftovers: list[tuple[int, object]]) -> None:
+        """Handle L-CHT insertion failures according to the denylist policy."""
+        if not leftovers:
+            return
+        if self.config.use_denylist:
+            for node, part2 in leftovers:
+                self._ldl.add(node, part2)
+            return
+        pending = list(leftovers)
+        while pending:
+            pending_next: list[tuple[int, object]] = []
+            pending_next.extend(self._lcht.expand())
+            for node, part2 in pending:
+                pending_next.extend(self._lcht.insert(node, part2))
+            if pending_next == pending:
+                for node, part2 in pending_next:
+                    self._ldl.add(node, part2)
+                return
+            pending = pending_next
+
+    def _remove_node_if_empty(self, u: int, part2: AdjacencyPart2) -> None:
+        """Drop ``u`` from the structure once its last neighbour is deleted."""
+        if len(part2) > 0 or self._sdl.successors_of(u):
+            return
+        if self._ldl.remove(u):
+            return
+        deleted, leftovers = self._lcht.delete(u)
+        if deleted:
+            self._park_large(leftovers)
+
+    # ------------------------------------------------------------------ #
+    # DynamicGraphStore API
+    # ------------------------------------------------------------------ #
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert the directed edge ``⟨u, v⟩``; return ``True`` if it was new.
+
+        Following the paper's Insertion Step 1, the edge is first queried; the
+        located cell is reused for the actual placement so the pre-query costs
+        no additional bucket probes.
+        """
+        self.counters.edges_inserted += 1
+        part2 = self._find_part2(u)
+        if part2 is not None:
+            if v in part2 or self._sdl.contains(u, v):
+                return False
+            self._park_small(u, part2.insert(v, self._default_payload()), part2)
+        else:
+            if self._sdl.contains(u, v):
+                return False
+            part2 = self._new_part2(u)
+            self._park_small(u, part2.insert(v, self._default_payload()), part2)
+            self._park_large(self._lcht.insert(u, part2))
+        self._num_edges += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``⟨u, v⟩`` is stored (Query operation)."""
+        self.counters.edges_queried += 1
+        return self._edge_present(u, v)
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete ``⟨u, v⟩``; return ``True`` if it was present."""
+        self.counters.edges_deleted += 1
+        part2 = self._find_part2(u)
+        if part2 is not None and v in part2:
+            deleted, leftovers = part2.delete(v)
+            self._park_small(u, leftovers, part2)
+        elif self._sdl.contains(u, v):
+            deleted = self._sdl.remove(u, v)
+        else:
+            return False
+        if deleted:
+            self._num_edges -= 1
+            if part2 is not None:
+                self._remove_node_if_empty(u, part2)
+        return deleted
+
+    def successors(self, u: int) -> list[int]:
+        """Out-neighbours of ``u`` (successor query used by the analytics tasks)."""
+        part2 = self._find_part2(u)
+        result: list[int] = []
+        if part2 is not None:
+            result.extend(part2.neighbours())
+        result.extend(v for v, _ in self._sdl.successors_of(u))
+        return result
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u`` without materialising the successor list twice."""
+        part2 = self._find_part2(u)
+        degree = len(part2) if part2 is not None else 0
+        return degree + len(self._sdl.successors_of(u))
+
+    def has_node(self, u: int) -> bool:
+        """Whether ``u`` is currently stored as a source node."""
+        return self._find_part2(u) is not None
+
+    def source_nodes(self) -> Iterator[int]:
+        """Iterate over source nodes (L-CHT residents first, then the L-DL)."""
+        yield from self._lcht.keys()
+        yield from self._ldl.keys()
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over every stored directed edge."""
+        for u, part2 in self._cells():
+            for v in part2.neighbours():
+                yield (u, v)
+        for (u, v), _ in self._sdl.items():
+            yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges currently stored."""
+        return self._num_edges
+
+    @property
+    def num_source_nodes(self) -> int:
+        """Number of distinct source nodes currently stored."""
+        return len(self._lcht) + len(self._ldl)
+
+    # ------------------------------------------------------------------ #
+    # Memory model
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        """Modelled C++ footprint: L-CHT cells, S-CHT cells and both denylists."""
+        layout = self._layout
+        total = self._lcht.modelled_bytes(layout.lcht_cell_bytes)
+        for _, part2 in self._cells():
+            total += part2.chain_modelled_bytes(layout.scht_cell_bytes)
+        total += self._sdl.modelled_bytes(layout.sdl_entry_bytes)
+        total += self._ldl.modelled_bytes(layout.ldl_entry_bytes)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by tests and benchmarks
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lcht(self) -> TableChain:
+        """The L-CHT chain (exposed for tests and the cost-model experiments)."""
+        return self._lcht
+
+    @property
+    def small_denylist(self) -> SmallDenylist:
+        """The global S-DL."""
+        return self._sdl
+
+    @property
+    def large_denylist(self) -> LargeDenylist:
+        """The global L-DL."""
+        return self._ldl
+
+    def part2_of(self, u: int) -> Optional[AdjacencyPart2]:
+        """Part 2 container of ``u`` (``None`` if ``u`` is not a source node)."""
+        return self._find_part2(u)
+
+    def structure_summary(self) -> dict[str, object]:
+        """A snapshot of the structural state, handy for debugging and reports."""
+        transformed = sum(1 for _, part2 in self._cells() if part2.is_transformed)
+        return {
+            "num_edges": self._num_edges,
+            "num_source_nodes": self.num_source_nodes,
+            "lcht_tables": self._lcht.table_lengths,
+            "lcht_loading_rate": self._lcht.overall_loading_rate,
+            "nodes_with_scht_chain": transformed,
+            "small_denylist_entries": len(self._sdl),
+            "large_denylist_entries": len(self._ldl),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _default_payload(self):
+        """Payload stored alongside a neighbour (``None`` in the basic version)."""
+        return None
+
+    def _edge_present(self, u: int, v: int) -> bool:
+        part2 = self._find_part2(u)
+        if part2 is not None and v in part2:
+            return True
+        return self._sdl.contains(u, v)
+
+    def _cells(self) -> Iterator[tuple[int, AdjacencyPart2]]:
+        """Iterate over every (u, Part 2) cell in the L-CHT chain and the L-DL."""
+        yield from self._lcht.items()
+        yield from self._ldl.items()

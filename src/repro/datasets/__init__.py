@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's seven evaluation datasets (Table IV)."""
+
+from .generators import (
+    dense_edge_set,
+    duplicate_stream,
+    powerlaw_edge_set,
+    regular_edge_set,
+    uniform_edge_set,
+)
+from .registry import (
+    available_datasets,
+    clear_cache,
+    dataset_profile,
+    load_all_datasets,
+    load_dataset,
+)
+from .stream import EdgeStream, StreamStatistics
+from .table4 import DATASET_ORDER, TABLE4_PROFILES, DatasetProfile
+
+__all__ = [
+    "DATASET_ORDER",
+    "DatasetProfile",
+    "EdgeStream",
+    "StreamStatistics",
+    "TABLE4_PROFILES",
+    "available_datasets",
+    "clear_cache",
+    "dataset_profile",
+    "dense_edge_set",
+    "duplicate_stream",
+    "load_all_datasets",
+    "load_dataset",
+    "powerlaw_edge_set",
+    "regular_edge_set",
+    "uniform_edge_set",
+]

@@ -1,0 +1,49 @@
+"""Dataset registry: name -> scaled synthetic stream, with caching.
+
+Benchmarks request datasets by name ("CAIDA", "Weibo", ...); the registry
+generates each scaled stand-in once per (name, scale, seed) combination and
+caches it, so a figure that sweeps all seven datasets does not regenerate
+streams repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .stream import EdgeStream
+from .table4 import DATASET_ORDER, TABLE4_PROFILES, DatasetProfile
+
+_CACHE: dict[tuple[str, Optional[int], int], EdgeStream] = {}
+
+
+def available_datasets() -> list[str]:
+    """Dataset names in the order the paper's figures use."""
+    return list(DATASET_ORDER)
+
+
+def dataset_profile(name: str) -> DatasetProfile:
+    """The Table IV profile for ``name`` (raises ``KeyError`` if unknown)."""
+    try:
+        return TABLE4_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {DATASET_ORDER}"
+        ) from None
+
+
+def load_dataset(name: str, scale: Optional[int] = None, seed: int = 1) -> EdgeStream:
+    """Scaled synthetic stand-in stream for the named dataset (cached)."""
+    key = (name, scale, seed)
+    if key not in _CACHE:
+        _CACHE[key] = dataset_profile(name).generate(scale=scale, seed=seed)
+    return _CACHE[key]
+
+
+def load_all_datasets(scale: Optional[int] = None, seed: int = 1) -> dict[str, EdgeStream]:
+    """All seven datasets, keyed by name, in figure order."""
+    return {name: load_dataset(name, scale, seed) for name in DATASET_ORDER}
+
+
+def clear_cache() -> None:
+    """Drop every cached stream (used by tests that tune scales)."""
+    _CACHE.clear()

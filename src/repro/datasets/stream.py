@@ -1,0 +1,136 @@
+"""Edge-stream container shared by the dataset generators and benchmarks.
+
+The paper's basic-task experiments drive each scheme with a *stream* of
+edges: possibly containing duplicates (CAIDA, StackOverflow, WikiTalk), in
+arrival order, and the memory experiments additionally use the de-duplicated
+stream.  :class:`EdgeStream` packages a generated stream together with the
+statistics Table IV reports, so benchmarks and tests can assert that a
+synthetic stand-in actually matches the characteristics it is supposed to
+have.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class StreamStatistics:
+    """The per-dataset quantities reported in Table IV."""
+
+    num_nodes: int
+    num_edges: int
+    num_edges_dedup: int
+    average_degree: float
+    max_degree: int
+    edge_density: float
+    has_duplicates: bool
+
+    def as_row(self) -> dict[str, object]:
+        """Row form used by the Table IV benchmark report."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "edges_dedup": self.num_edges_dedup,
+            "avg_degree": round(self.average_degree, 2),
+            "max_degree": self.max_degree,
+            "density": self.edge_density,
+            "weighted": self.has_duplicates,
+        }
+
+
+class EdgeStream:
+    """An ordered stream of directed edges, possibly with duplicates."""
+
+    def __init__(self, name: str, edges: Sequence[tuple[int, int]]):
+        self.name = name
+        self._edges: list[tuple[int, int]] = list(edges)
+
+    # ------------------------------------------------------------------ #
+    # Sequence behaviour
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._edges)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EdgeStream(self.name, self._edges[index])
+        return self._edges[index]
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """The underlying edge list (arrival order)."""
+        return self._edges
+
+    # ------------------------------------------------------------------ #
+    # Derived streams
+    # ------------------------------------------------------------------ #
+
+    def deduplicated(self) -> "EdgeStream":
+        """Distinct edges in first-arrival order (the paper's dedup step)."""
+        seen: set[tuple[int, int]] = set()
+        distinct: list[tuple[int, int]] = []
+        for edge in self._edges:
+            if edge not in seen:
+                seen.add(edge)
+                distinct.append(edge)
+        return EdgeStream(f"{self.name}-dedup", distinct)
+
+    def prefix(self, count: int) -> "EdgeStream":
+        """The first ``count`` edges of the stream."""
+        return EdgeStream(self.name, self._edges[:count])
+
+    def shuffled(self, seed: int = 0) -> "EdgeStream":
+        """A reproducibly shuffled copy (used by deletion-order experiments)."""
+        rng = random.Random(seed)
+        copy = list(self._edges)
+        rng.shuffle(copy)
+        return EdgeStream(f"{self.name}-shuffled", copy)
+
+    def sample(self, count: int, seed: int = 0) -> "EdgeStream":
+        """A reproducible sample of ``count`` edges (without replacement)."""
+        rng = random.Random(seed)
+        count = min(count, len(self._edges))
+        return EdgeStream(f"{self.name}-sample", rng.sample(self._edges, count))
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def statistics(self) -> StreamStatistics:
+        """Compute the Table IV statistics for this stream."""
+        distinct = set(self._edges)
+        nodes: set[int] = set()
+        out_degree: Counter[int] = Counter()
+        in_degree: Counter[int] = Counter()
+        for u, v in distinct:
+            nodes.add(u)
+            nodes.add(v)
+            out_degree[u] += 1
+            in_degree[v] += 1
+        total_degree = Counter(out_degree)
+        total_degree.update(in_degree)
+        num_nodes = len(nodes)
+        num_dedup = len(distinct)
+        density = 0.0
+        if num_nodes > 1:
+            density = num_dedup / (num_nodes * (num_nodes - 1))
+        return StreamStatistics(
+            num_nodes=num_nodes,
+            num_edges=len(self._edges),
+            num_edges_dedup=num_dedup,
+            average_degree=(num_dedup / num_nodes) if num_nodes else 0.0,
+            max_degree=max(total_degree.values()) if total_degree else 0,
+            edge_density=density,
+            has_duplicates=len(self._edges) != num_dedup,
+        )
+
+    def __repr__(self) -> str:
+        return f"EdgeStream(name={self.name!r}, edges={len(self._edges)})"

@@ -1,0 +1,20 @@
+"""Database integrations: the Redis and Neo4j use cases of Sections V-F / V-G.
+
+Both integrations are in-process simulations of the respective systems (see
+DESIGN.md for the substitution rationale): :class:`MiniRedisServer` exposes a
+command-dispatch keyspace with a loadable :class:`CuckooGraphModule`, and
+:class:`MiniNeo4j` is a property-graph store whose edge lookups can be
+accelerated by a multi-edge CuckooGraph index.
+"""
+
+from .minineo4j import MiniNeo4j, NodeRecord, RelationshipRecord
+from .miniredis import CuckooGraphModule, MiniRedisServer, RedisModule
+
+__all__ = [
+    "CuckooGraphModule",
+    "MiniNeo4j",
+    "MiniRedisServer",
+    "NodeRecord",
+    "RedisModule",
+    "RelationshipRecord",
+]

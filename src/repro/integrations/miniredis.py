@@ -1,0 +1,275 @@
+"""An in-process Redis-like command server with a CuckooGraph module.
+
+Section V-F deploys CuckooGraph inside Redis through the Redis Module API,
+exposing ``insert`` / ``del`` / ``query`` / ``getneighbors`` commands and the
+persistence hooks (``save_rdb`` / ``load_rdb`` / ``aof_rewrite``).  The real
+Redis server is out of scope for an offline pure-Python reproduction, so this
+module provides the closest structural equivalent:
+
+* :class:`MiniRedisServer` -- a keyspace plus a command dispatcher that
+  parses textual commands (simulating the protocol/dispatch overhead that
+  dominates the measured throughput in the paper: native Redis peaks at
+  ~0.16 Mops on the authors' server, and CuckooGraph-on-Redis reaches
+  0.04-0.05 Mops);
+* :class:`CuckooGraphModule` -- a loadable module registering the graph
+  commands and the persistence callbacks on top of a
+  :class:`~repro.core.weighted.WeightedCuckooGraph`;
+* RDB-style snapshots (a serialisable dict of the whole keyspace) and an
+  append-only file (AOF) log with replay and rewrite.
+
+The substitution preserves what the experiment measures: every graph
+operation pays command parsing, dispatch and reply formatting on top of the
+data-structure cost, so the relative drop from raw CuckooGraph throughput to
+"CuckooGraph on Redis" throughput has the same cause as in the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional, Sequence
+
+from ..core.errors import IntegrationError
+from ..core.weighted import WeightedCuckooGraph
+
+#: Signature of a command handler: (server, args) -> reply.
+CommandHandler = Callable[["MiniRedisServer", Sequence[str]], object]
+
+
+class RedisModule:
+    """Base class for loadable modules (mirrors the Redis Module API surface)."""
+
+    #: Module name reported by ``MODULE LIST``.
+    name = "module"
+
+    def commands(self) -> dict[str, CommandHandler]:
+        """Mapping from command name (upper case) to handler."""
+        return {}
+
+    def save_rdb(self) -> dict:
+        """Serialisable snapshot of the module's data (RDB hook)."""
+        return {}
+
+    def load_rdb(self, payload: dict) -> None:
+        """Restore the module's data from a snapshot (RDB hook)."""
+
+    def aof_rewrite(self) -> list[list[str]]:
+        """Minimal command sequence that reconstructs the module's data (AOF hook)."""
+        return []
+
+
+class CuckooGraphModule(RedisModule):
+    """Redis module exposing a weighted CuckooGraph as ``G*`` commands.
+
+    Commands (case-insensitive):
+
+    * ``GINSERT u v``      -- insert the edge (or bump its weight); replies ``:w``
+    * ``GDEL u v``         -- decrement / delete the edge; replies ``:1`` or ``:0``
+    * ``GQUERY u v``       -- reply the weight of the edge (``:0`` if absent)
+    * ``GNEIGHBORS u``     -- reply the successor list of ``u``
+    * ``GSIZE``            -- reply the number of distinct edges
+    """
+
+    name = "cuckoograph"
+
+    def __init__(self, graph: Optional[WeightedCuckooGraph] = None):
+        self.graph = graph if graph is not None else WeightedCuckooGraph()
+
+    # -- command handlers ------------------------------------------------ #
+
+    def commands(self) -> dict[str, CommandHandler]:
+        return {
+            "GINSERT": self._cmd_insert,
+            "GDEL": self._cmd_delete,
+            "GQUERY": self._cmd_query,
+            "GNEIGHBORS": self._cmd_neighbors,
+            "GSIZE": self._cmd_size,
+        }
+
+    def _cmd_insert(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        u, v = _parse_edge(args, "GINSERT")
+        return self.graph.insert_weighted_edge(u, v)
+
+    def _cmd_delete(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        u, v = _parse_edge(args, "GDEL")
+        return 1 if self.graph.delete_edge(u, v) else 0
+
+    def _cmd_query(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        u, v = _parse_edge(args, "GQUERY")
+        return self.graph.edge_weight(u, v)
+
+    def _cmd_neighbors(self, server: "MiniRedisServer", args: Sequence[str]) -> list[int]:
+        if len(args) != 1:
+            raise IntegrationError("GNEIGHBORS expects exactly one argument")
+        return sorted(self.graph.successors(int(args[0])))
+
+    def _cmd_size(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        return self.graph.num_edges
+
+    # -- persistence hooks ------------------------------------------------ #
+
+    def save_rdb(self) -> dict:
+        return {"edges": [[u, v, w] for u, v, w in self.graph.weighted_edges()]}
+
+    def load_rdb(self, payload: dict) -> None:
+        self.graph = WeightedCuckooGraph()
+        for u, v, w in payload.get("edges", []):
+            self.graph.insert_weighted_edge(int(u), int(v), int(w))
+
+    def aof_rewrite(self) -> list[list[str]]:
+        commands: list[list[str]] = []
+        for u, v, w in self.graph.weighted_edges():
+            for _ in range(w):
+                commands.append(["GINSERT", str(u), str(v)])
+        return commands
+
+
+class MiniRedisServer:
+    """A tiny single-threaded command server with module support.
+
+    Built-in commands cover the handful needed by the examples and tests
+    (``SET``, ``GET``, ``DEL``, ``EXISTS``, ``PING``, ``MODULE``); everything
+    else must come from a loaded module.  Every call goes through textual
+    parsing and dispatch, which is deliberately the dominant cost.
+    """
+
+    def __init__(self):
+        self._keyspace: dict[str, str] = {}
+        self._modules: dict[str, RedisModule] = {}
+        self._commands: dict[str, CommandHandler] = {
+            "PING": lambda server, args: "PONG",
+            "SET": self._cmd_set,
+            "GET": self._cmd_get,
+            "DEL": self._cmd_del,
+            "EXISTS": self._cmd_exists,
+            "DBSIZE": lambda server, args: len(self._keyspace),
+        }
+        self._aof: list[list[str]] = []
+        self.commands_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Module management (--loadmodule equivalent)
+    # ------------------------------------------------------------------ #
+
+    def load_module(self, module: RedisModule) -> None:
+        """Register a module and its commands (``--loadmodule`` equivalent)."""
+        if module.name in self._modules:
+            raise IntegrationError(f"module {module.name!r} already loaded")
+        for command, handler in module.commands().items():
+            upper = command.upper()
+            if upper in self._commands:
+                raise IntegrationError(f"command {upper} already registered")
+            self._commands[upper] = handler
+        self._modules[module.name] = module
+
+    def loaded_modules(self) -> list[str]:
+        """Names of the loaded modules."""
+        return sorted(self._modules)
+
+    # ------------------------------------------------------------------ #
+    # Command execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, command_line: str | Sequence[str]):
+        """Parse and execute one command; return its reply.
+
+        Accepts either a raw command line (``"GINSERT 1 2"``) or a
+        pre-tokenised argument sequence.
+        """
+        if isinstance(command_line, str):
+            tokens = command_line.split()
+        else:
+            tokens = [str(token) for token in command_line]
+        if not tokens:
+            raise IntegrationError("empty command")
+        name, args = tokens[0].upper(), tokens[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            raise IntegrationError(f"unknown command {name!r}")
+        self.commands_processed += 1
+        if name in _WRITE_COMMANDS:
+            self._aof.append(tokens)
+        return handler(self, args)
+
+    def execute_many(self, command_lines: Sequence[str | Sequence[str]]) -> list:
+        """Execute a batch of commands; return the list of replies."""
+        return [self.execute(line) for line in command_lines]
+
+    # ------------------------------------------------------------------ #
+    # Built-in commands
+    # ------------------------------------------------------------------ #
+
+    def _cmd_set(self, server: "MiniRedisServer", args: Sequence[str]) -> str:
+        if len(args) != 2:
+            raise IntegrationError("SET expects key and value")
+        self._keyspace[args[0]] = args[1]
+        return "OK"
+
+    def _cmd_get(self, server: "MiniRedisServer", args: Sequence[str]) -> Optional[str]:
+        if len(args) != 1:
+            raise IntegrationError("GET expects a key")
+        return self._keyspace.get(args[0])
+
+    def _cmd_del(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        removed = 0
+        for key in args:
+            if key in self._keyspace:
+                del self._keyspace[key]
+                removed += 1
+        return removed
+
+    def _cmd_exists(self, server: "MiniRedisServer", args: Sequence[str]) -> int:
+        return sum(1 for key in args if key in self._keyspace)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save_rdb(self) -> str:
+        """Serialise the keyspace and every module's data to a JSON snapshot."""
+        snapshot = {
+            "keyspace": dict(self._keyspace),
+            "modules": {name: module.save_rdb() for name, module in self._modules.items()},
+        }
+        return json.dumps(snapshot)
+
+    def load_rdb(self, snapshot: str) -> None:
+        """Restore the keyspace and module data from a JSON snapshot."""
+        payload = json.loads(snapshot)
+        self._keyspace = dict(payload.get("keyspace", {}))
+        for name, module_payload in payload.get("modules", {}).items():
+            module = self._modules.get(name)
+            if module is None:
+                raise IntegrationError(f"snapshot references unloaded module {name!r}")
+            module.load_rdb(module_payload)
+
+    def aof_log(self) -> list[list[str]]:
+        """The append-only command log accumulated so far."""
+        return list(self._aof)
+
+    def aof_rewrite(self) -> list[list[str]]:
+        """Compact AOF: built-in writes plus each module's minimal command set."""
+        rewritten: list[list[str]] = [
+            ["SET", key, value] for key, value in self._keyspace.items()
+        ]
+        for module in self._modules.values():
+            rewritten.extend(module.aof_rewrite())
+        self._aof = list(rewritten)
+        return rewritten
+
+    def replay_aof(self, log: Sequence[Sequence[str]]) -> None:
+        """Replay an AOF log (used after loading an empty server)."""
+        for tokens in log:
+            self.execute(list(tokens))
+
+
+#: Commands appended to the AOF (write commands only).
+_WRITE_COMMANDS = {"SET", "DEL", "GINSERT", "GDEL"}
+
+
+def _parse_edge(args: Sequence[str], command: str) -> tuple[int, int]:
+    if len(args) != 2:
+        raise IntegrationError(f"{command} expects exactly two arguments (u, v)")
+    try:
+        return int(args[0]), int(args[1])
+    except ValueError as error:
+        raise IntegrationError(f"{command} arguments must be integers") from error

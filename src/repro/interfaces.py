@@ -1,0 +1,148 @@
+"""Store-agnostic interface implemented by every dynamic-graph structure.
+
+The paper's evaluation compares CuckooGraph against LiveGraph, Spruce,
+Sortledton and the Wind-Bell Index by driving each one through the same basic
+operations (insert / query / delete an edge, enumerate successors) and the
+same analytics kernels.  :class:`DynamicGraphStore` captures exactly that
+contract so the benchmark harness and the analytics package never special-case
+a particular scheme.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+
+class DynamicGraphStore(ABC):
+    """Minimal contract for a dynamic directed-graph storage scheme.
+
+    Nodes are integers (the paper uses 8-byte identifiers).  Edges are
+    directed ``⟨u, v⟩`` pairs; the basic contract stores each distinct edge at
+    most once.  Implementations additionally expose a modelled memory
+    footprint so the memory-usage experiments can compare layouts without
+    relying on interpreter-level measurements.
+    """
+
+    #: Human-readable scheme name used in benchmark reports.
+    name: str = "abstract"
+
+    #: Modelled memory accesses performed so far, at roughly cache-line
+    #: granularity: one unit per bucket/block/list-node/index-level touched.
+    #: The paper's throughput analysis is an argument about the *number of
+    #: memory accesses* each structure needs per operation ("the upper limit
+    #: on the number of memory accesses is fixed and small"), and pure-Python
+    #: wall-clock time does not preserve that quantity, so every store keeps
+    #: this counter and the throughput benchmarks report accesses/operation
+    #: alongside wall-clock Mops.
+    accesses: int = 0
+
+    def reset_accesses(self) -> None:
+        """Zero the modelled memory-access counter."""
+        self.accesses = 0
+
+    # ------------------------------------------------------------------ #
+    # Required operations
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert the directed edge ``⟨u, v⟩``; return ``True`` if it was new."""
+
+    @abstractmethod
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``⟨u, v⟩`` is currently stored."""
+
+    @abstractmethod
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete ``⟨u, v⟩``; return ``True`` if it was present."""
+
+    @abstractmethod
+    def successors(self, u: int) -> list[int]:
+        """Return the out-neighbours of ``u`` (empty list if unknown)."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled memory footprint, in bytes, of the current structure."""
+
+    # ------------------------------------------------------------------ #
+    # Derived operations with default implementations
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def num_edges(self) -> int:
+        """Number of distinct directed edges currently stored."""
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u``."""
+        return len(self.successors(u))
+
+    def has_node(self, u: int) -> bool:
+        """Whether ``u`` appears as the source of at least one stored edge."""
+        return self.out_degree(u) > 0
+
+    @abstractmethod
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over every stored directed edge."""
+
+    def source_nodes(self) -> Iterator[int]:
+        """Iterate over nodes that have at least one outgoing edge."""
+        seen: set[int] = set()
+        for u, _ in self.edges():
+            if u not in seen:
+                seen.add(u)
+                yield u
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over every node incident to a stored edge."""
+        seen: set[int] = set()
+        for u, v in self.edges():
+            if u not in seen:
+                seen.add(u)
+                yield u
+            if v not in seen:
+                seen.add(v)
+                yield v
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct nodes incident to stored edges."""
+        return sum(1 for _ in self.nodes())
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers shared by examples and benchmarks
+    # ------------------------------------------------------------------ #
+
+    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Insert a batch of edges; return the number that were new."""
+        inserted = 0
+        for u, v in edges:
+            if self.insert_edge(u, v):
+                inserted += 1
+        return inserted
+
+    def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Delete a batch of edges; return the number that were present."""
+        deleted = 0
+        for u, v in edges:
+            if self.delete_edge(u, v):
+                deleted += 1
+        return deleted
+
+
+class WeightedGraphStore(DynamicGraphStore):
+    """Contract extension for stores that keep per-edge weights.
+
+    The extended CuckooGraph of Section III-B increments a weight when a
+    duplicate edge arrives; deleting decrements the weight and removes the
+    edge once it reaches zero.
+    """
+
+    @abstractmethod
+    def edge_weight(self, u: int, v: int) -> int:
+        """Current weight of ``⟨u, v⟩`` (0 if the edge is absent)."""
+
+    def insert_weighted_edge(self, u: int, v: int, delta: int = 1) -> int:
+        """Insert ``⟨u, v⟩`` or bump its weight by ``delta``; return the new weight."""
+        raise NotImplementedError

@@ -1,0 +1,92 @@
+"""Tests for the Packed Memory Array substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import PackedMemoryArray
+
+
+class TestBasics:
+    def test_insert_keeps_sorted_order(self):
+        pma = PackedMemoryArray()
+        for value in [5, 1, 9, 3, 7]:
+            assert pma.insert(value) is True
+        assert pma.items() == [1, 3, 5, 7, 9]
+
+    def test_duplicate_insert_rejected(self):
+        pma = PackedMemoryArray()
+        pma.insert(4)
+        assert pma.insert(4) is False
+        assert len(pma) == 1
+
+    def test_contains_and_delete(self):
+        pma = PackedMemoryArray()
+        pma.insert(10)
+        assert 10 in pma
+        assert pma.delete(10) is True
+        assert 10 not in pma
+        assert pma.delete(10) is False
+
+    def test_range_query(self):
+        pma = PackedMemoryArray()
+        for value in range(0, 100, 5):
+            pma.insert(value)
+        assert list(pma.range(10, 31)) == [10, 15, 20, 25, 30]
+
+    def test_invalid_segment_capacity(self):
+        with pytest.raises(ValueError):
+            PackedMemoryArray(segment_capacity=3)
+
+    def test_modelled_bytes_counts_gaps(self):
+        pma = PackedMemoryArray(segment_capacity=8)
+        pma.insert(1)
+        assert pma.modelled_bytes(8) == pma.capacity * 8
+        assert pma.capacity >= 8
+
+
+class TestGrowthAndDensity:
+    def test_capacity_grows_with_inserts(self):
+        pma = PackedMemoryArray(segment_capacity=8)
+        for value in range(200):
+            pma.insert(value)
+        assert pma.capacity >= 200
+        assert pma.items() == list(range(200))
+
+    def test_density_stays_in_root_bounds_after_bulk_insert(self):
+        pma = PackedMemoryArray()
+        rng = random.Random(3)
+        values = rng.sample(range(100000), 1000)
+        for value in values:
+            pma.insert(value)
+        assert pma.items() == sorted(values)
+        assert pma.density <= 0.95
+
+    def test_deletions_then_reinsertions(self):
+        pma = PackedMemoryArray()
+        values = list(range(300))
+        for value in values:
+            pma.insert(value)
+        for value in values[:250]:
+            assert pma.delete(value)
+        assert pma.items() == values[250:]
+        for value in values[:50]:
+            assert pma.insert(value)
+        assert pma.items() == sorted(values[:50] + values[250:])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+def test_pma_behaves_like_sorted_set(values):
+    """Property: the PMA is observationally a sorted set."""
+    pma = PackedMemoryArray()
+    reference: set[int] = set()
+    for value in values:
+        assert pma.insert(value) is (value not in reference)
+        reference.add(value)
+    assert pma.items() == sorted(reference)
+    for value in list(reference)[::2]:
+        assert pma.delete(value)
+        reference.discard(value)
+    assert pma.items() == sorted(reference)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the CuckooGraph reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro import CuckooGraph, WeightedCuckooGraph
+from repro.baselines import (
+    AdjacencyListGraph,
+    CSRGraph,
+    LiveGraphStore,
+    PCSRGraph,
+    SortledtonStore,
+    SpruceStore,
+    WindBellIndex,
+)
+
+#: Every DynamicGraphStore implementation that must honour the common contract.
+ALL_STORE_FACTORIES = {
+    "CuckooGraph": CuckooGraph,
+    "WeightedCuckooGraph": WeightedCuckooGraph,
+    "AdjacencyList": AdjacencyListGraph,
+    "CSR": lambda: CSRGraph(rebuild_threshold=64),
+    "LiveGraph": LiveGraphStore,
+    "PCSR": PCSRGraph,
+    "Sortledton": SortledtonStore,
+    "Spruce": SpruceStore,
+    "WBI": lambda: WindBellIndex(matrix_size=16),
+}
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic random source for tests."""
+    return random.Random(20240515)
+
+
+@pytest.fixture
+def small_edge_set(rng) -> list[tuple[int, int]]:
+    """~1200 distinct random edges over 300 nodes."""
+    edges = set()
+    while len(edges) < 1200:
+        u, v = rng.randrange(300), rng.randrange(300)
+        if u != v:
+            edges.add((u, v))
+    shuffled = list(edges)
+    rng.shuffle(shuffled)
+    return shuffled
+
+
+@pytest.fixture
+def skewed_edge_set(rng) -> list[tuple[int, int]]:
+    """Edges with one very high-degree hub, to exercise S-CHT chains."""
+    edges = [(0, v) for v in range(1, 400)]
+    while len(edges) < 900:
+        u, v = rng.randrange(50), rng.randrange(400)
+        if u != v and (u, v) not in edges:
+            edges.append((u, v))
+    return edges
+
+
+def reference_adjacency(edges) -> dict[int, set[int]]:
+    """Reference dict-of-sets adjacency for a collection of distinct edges."""
+    adjacency: dict[int, set[int]] = defaultdict(set)
+    for u, v in edges:
+        adjacency[u].add(v)
+    return adjacency
+
+
+@pytest.fixture
+def reference():
+    """Expose the reference-model helper to tests."""
+    return reference_adjacency

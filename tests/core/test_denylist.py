@@ -1,0 +1,101 @@
+"""Tests for the DENYLIST vectors (S-DL and L-DL)."""
+
+import pytest
+
+from repro.core.denylist import LargeDenylist, SmallDenylist
+from repro.core.errors import CapacityError
+
+
+class TestSmallDenylist:
+    def test_add_and_contains(self):
+        denylist = SmallDenylist(capacity=8)
+        denylist.add(1, 2)
+        assert denylist.contains(1, 2)
+        assert not denylist.contains(2, 1)
+        assert len(denylist) == 1
+
+    def test_payloads_round_trip(self):
+        denylist = SmallDenylist(capacity=8)
+        denylist.add(1, 2, payload=5)
+        assert denylist.get(1, 2) == 5
+        denylist.set(1, 2, 9)
+        assert denylist.get(1, 2) == 9
+        assert denylist.get(3, 4, "default") == "default"
+
+    def test_remove(self):
+        denylist = SmallDenylist(capacity=8)
+        denylist.add(1, 2)
+        assert denylist.remove(1, 2) is True
+        assert denylist.remove(1, 2) is False
+        assert len(denylist) == 0
+
+    def test_capacity_enforced(self):
+        denylist = SmallDenylist(capacity=2)
+        denylist.add(1, 1)
+        denylist.add(1, 2)
+        with pytest.raises(CapacityError):
+            denylist.add(1, 3)
+
+    def test_re_adding_existing_edge_never_overflows(self):
+        denylist = SmallDenylist(capacity=1)
+        denylist.add(1, 1, payload="a")
+        denylist.add(1, 1, payload="b")  # same edge: update, not overflow
+        assert denylist.get(1, 1) == "b"
+
+    def test_drain_for_source_removes_only_matching_entries(self):
+        denylist = SmallDenylist(capacity=16)
+        denylist.add(1, 10, "a")
+        denylist.add(1, 11, "b")
+        denylist.add(2, 12, "c")
+        drained = dict(denylist.drain_for_source(1))
+        assert drained == {10: "a", 11: "b"}
+        assert len(denylist) == 1
+        assert denylist.contains(2, 12)
+
+    def test_successors_of_does_not_remove(self):
+        denylist = SmallDenylist(capacity=16)
+        denylist.add(3, 30)
+        denylist.add(3, 31)
+        assert sorted(v for v, _ in denylist.successors_of(3)) == [30, 31]
+        assert len(denylist) == 2
+
+    def test_modelled_bytes(self):
+        denylist = SmallDenylist(capacity=16)
+        denylist.add(1, 2)
+        denylist.add(3, 4)
+        assert denylist.modelled_bytes(16) == 32
+
+
+class TestLargeDenylist:
+    def test_add_get_remove(self):
+        denylist = LargeDenylist(capacity=4)
+        denylist.add(7, "part2-object")
+        assert denylist.contains(7)
+        assert denylist.get(7) == "part2-object"
+        assert denylist.remove(7) is True
+        assert denylist.remove(7) is False
+
+    def test_capacity_enforced(self):
+        denylist = LargeDenylist(capacity=1)
+        denylist.add(1, "a")
+        with pytest.raises(CapacityError):
+            denylist.add(2, "b")
+
+    def test_drain_removes_everything(self):
+        denylist = LargeDenylist(capacity=4)
+        denylist.add(1, "a")
+        denylist.add(2, "b")
+        drained = dict(denylist.drain())
+        assert drained == {1: "a", 2: "b"}
+        assert len(denylist) == 0
+
+    def test_items_and_keys(self):
+        denylist = LargeDenylist(capacity=4)
+        denylist.add(5, "x")
+        assert list(denylist.items()) == [(5, "x")]
+        assert list(denylist.keys()) == [5]
+
+    def test_modelled_bytes(self):
+        denylist = LargeDenylist(capacity=4)
+        denylist.add(5, "x")
+        assert denylist.modelled_bytes(56) == 56

@@ -1,0 +1,112 @@
+"""Property-based tests: CuckooGraph versus a reference dict-of-sets model."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CuckooGraph, CuckooGraphConfig, WeightedCuckooGraph
+
+#: A compact node universe keeps collisions (and therefore interesting
+#: structural events: kicks, transformations, contractions) frequent.
+node_ids = st.integers(min_value=0, max_value=60)
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "query"]), node_ids, node_ids),
+    min_size=1,
+    max_size=400,
+)
+
+#: Small, stress-heavy configurations alongside the paper configuration.
+configs = st.sampled_from(
+    [
+        CuckooGraphConfig(),
+        CuckooGraphConfig(d=2, R=2, T=20, initial_scht_length=1, initial_lcht_length=2),
+        CuckooGraphConfig(d=4, R=3, G=0.8, lam=0.3, initial_lcht_length=4),
+        CuckooGraphConfig(d=1, R=1, T=4, initial_scht_length=1, initial_lcht_length=1),
+        CuckooGraphConfig(collapse_chain_to_slots=True),
+        CuckooGraphConfig(use_denylist=False, d=2, T=8, initial_lcht_length=2),
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations, config=configs)
+def test_cuckoograph_matches_reference_model(ops, config):
+    """Any operation sequence leaves CuckooGraph equal to a dict-of-sets model."""
+    graph = CuckooGraph(config)
+    model: dict[int, set[int]] = defaultdict(set)
+    for action, u, v in ops:
+        if action == "insert":
+            expected_new = v not in model[u]
+            assert graph.insert_edge(u, v) is expected_new
+            model[u].add(v)
+        elif action == "delete":
+            expected_present = v in model[u]
+            assert graph.delete_edge(u, v) is expected_present
+            model[u].discard(v)
+        else:
+            assert graph.has_edge(u, v) is (v in model[u])
+    expected_edges = sorted((u, v) for u, vs in model.items() for v in vs)
+    assert sorted(graph.edges()) == expected_edges
+    assert graph.num_edges == len(expected_edges)
+    for u, vs in model.items():
+        assert sorted(graph.successors(u)) == sorted(vs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_weighted_cuckoograph_matches_reference_counter(ops):
+    """The weighted version tracks per-edge multiplicities exactly."""
+    graph = WeightedCuckooGraph()
+    model: dict[tuple[int, int], int] = defaultdict(int)
+    for action, u, v in ops:
+        if action == "insert":
+            graph.insert_weighted_edge(u, v)
+            model[(u, v)] += 1
+        elif action == "delete":
+            removed = graph.delete_edge(u, v)
+            if model[(u, v)] > 0:
+                model[(u, v)] -= 1
+                assert removed is (model[(u, v)] == 0)
+                if model[(u, v)] == 0:
+                    del model[(u, v)]
+            else:
+                assert removed is False
+                model.pop((u, v), None)
+        else:
+            assert graph.edge_weight(u, v) == model.get((u, v), 0)
+    assert graph.num_edges == len(model)
+    for (u, v), weight in model.items():
+        assert graph.edge_weight(u, v) == weight
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    neighbours=st.lists(st.integers(min_value=0, max_value=5000), min_size=1,
+                        max_size=300, unique=True)
+)
+def test_single_hub_transformation_roundtrip(neighbours):
+    """Growing then fully shrinking one node's neighbourhood never loses edges."""
+    graph = CuckooGraph(CuckooGraphConfig(initial_scht_length=1, d=4))
+    for v in neighbours:
+        graph.insert_edge(0, v)
+    assert sorted(graph.successors(0)) == sorted(neighbours)
+    for v in neighbours:
+        assert graph.delete_edge(0, v)
+    assert graph.successors(0) == []
+    assert graph.num_edges == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations, config=configs)
+def test_memory_model_is_positive_and_tracks_structure(ops, config):
+    """memory_bytes stays positive and reflects the allocated cells."""
+    graph = CuckooGraph(config)
+    for action, u, v in ops:
+        if action == "insert":
+            graph.insert_edge(u, v)
+        elif action == "delete":
+            graph.delete_edge(u, v)
+    footprint = graph.memory_bytes()
+    assert footprint > 0
+    assert footprint >= graph.lcht.total_cells * 8

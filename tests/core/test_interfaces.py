@@ -1,0 +1,98 @@
+"""Tests for the DynamicGraphStore default implementations."""
+
+import pytest
+
+from repro.interfaces import DynamicGraphStore, WeightedGraphStore
+from repro import WeightedCuckooGraph
+
+
+class MinimalStore(DynamicGraphStore):
+    """Smallest possible conforming store, to exercise the ABC defaults."""
+
+    name = "Minimal"
+
+    def __init__(self):
+        self._edges: set[tuple[int, int]] = set()
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        if (u, v) in self._edges:
+            return False
+        self._edges.add((u, v))
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._edges
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        if (u, v) not in self._edges:
+            return False
+        self._edges.discard((u, v))
+        return True
+
+    def successors(self, u: int) -> list[int]:
+        return [v for (source, v) in self._edges if source == u]
+
+    def edges(self):
+        return iter(sorted(self._edges))
+
+    def memory_bytes(self) -> int:
+        return 16 * len(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+
+class TestDefaults:
+    def test_abstract_class_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            DynamicGraphStore()  # type: ignore[abstract]
+
+    def test_default_out_degree_and_has_node(self):
+        store = MinimalStore()
+        store.insert_edge(1, 2)
+        store.insert_edge(1, 3)
+        assert store.out_degree(1) == 2
+        assert store.has_node(1)
+        assert not store.has_node(2)
+
+    def test_default_node_iterators(self):
+        store = MinimalStore()
+        store.insert_edge(1, 2)
+        store.insert_edge(3, 1)
+        assert sorted(store.source_nodes()) == [1, 3]
+        assert sorted(store.nodes()) == [1, 2, 3]
+        assert store.num_nodes == 3
+
+    def test_default_edges_iterator(self):
+        store = MinimalStore()
+        store.insert_edge(1, 2)
+        store.insert_edge(2, 3)
+        assert sorted(store.edges()) == [(1, 2), (2, 3)]
+
+    def test_bulk_insert_and_delete_defaults(self):
+        store = MinimalStore()
+        assert store.insert_edges([(1, 2), (1, 2), (2, 3)]) == 2
+        assert store.delete_edges([(1, 2), (9, 9)]) == 1
+
+    def test_default_access_counter_exists(self):
+        store = MinimalStore()
+        assert store.accesses == 0
+        store.reset_accesses()
+        assert store.accesses == 0
+
+
+class TestWeightedContract:
+    def test_weighted_store_base_insert_not_implemented(self):
+        class Incomplete(MinimalStore, WeightedGraphStore):
+            def edge_weight(self, u: int, v: int) -> int:
+                return 1 if self.has_edge(u, v) else 0
+
+        with pytest.raises(NotImplementedError):
+            Incomplete().insert_weighted_edge(1, 2)
+
+    def test_weighted_cuckoograph_satisfies_contract(self):
+        graph = WeightedCuckooGraph()
+        assert isinstance(graph, WeightedGraphStore)
+        assert graph.insert_weighted_edge(1, 2) == 1
+        assert graph.edge_weight(1, 2) == 1

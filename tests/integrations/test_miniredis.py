@@ -1,0 +1,132 @@
+"""Tests for the mini-Redis server and the CuckooGraph module (Section V-F)."""
+
+import pytest
+
+from repro.core.errors import IntegrationError
+from repro.integrations import CuckooGraphModule, MiniRedisServer, RedisModule
+
+
+@pytest.fixture
+def server() -> MiniRedisServer:
+    instance = MiniRedisServer()
+    instance.load_module(CuckooGraphModule())
+    return instance
+
+
+class TestBuiltinCommands:
+    def test_ping_set_get(self):
+        server = MiniRedisServer()
+        assert server.execute("PING") == "PONG"
+        assert server.execute("SET answer 42") == "OK"
+        assert server.execute("GET answer") == "42"
+        assert server.execute("GET missing") is None
+
+    def test_del_and_exists(self):
+        server = MiniRedisServer()
+        server.execute("SET a 1")
+        assert server.execute("EXISTS a b") == 1
+        assert server.execute("DEL a b") == 1
+        assert server.execute("EXISTS a") == 0
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(IntegrationError):
+            MiniRedisServer().execute("FLUSHEVERYTHING")
+
+    def test_empty_command_raises(self):
+        with pytest.raises(IntegrationError):
+            MiniRedisServer().execute("")
+
+    def test_commands_processed_counter(self):
+        server = MiniRedisServer()
+        server.execute("PING")
+        server.execute_many(["PING", "PING"])
+        assert server.commands_processed == 3
+
+
+class TestModuleLoading:
+    def test_loadmodule_registers_commands(self, server):
+        assert server.loaded_modules() == ["cuckoograph"]
+        assert server.execute("GSIZE") == 0
+
+    def test_double_load_rejected(self, server):
+        with pytest.raises(IntegrationError):
+            server.load_module(CuckooGraphModule())
+
+    def test_conflicting_command_rejected(self):
+        class Conflicting(RedisModule):
+            name = "conflict"
+
+            def commands(self):
+                return {"PING": lambda server, args: "NOPE"}
+
+        with pytest.raises(IntegrationError):
+            MiniRedisServer().load_module(Conflicting())
+
+
+class TestGraphCommands:
+    def test_insert_query_neighbors_delete(self, server):
+        assert server.execute("GINSERT 1 2") == 1
+        assert server.execute("GINSERT 1 2") == 2          # weight bump
+        assert server.execute("GINSERT 1 3") == 1
+        assert server.execute("GQUERY 1 2") == 2
+        assert server.execute("GNEIGHBORS 1") == [2, 3]
+        assert server.execute("GSIZE") == 2
+        assert server.execute("GDEL 1 3") == 1
+        assert server.execute("GQUERY 1 3") == 0
+
+    def test_argument_validation(self, server):
+        with pytest.raises(IntegrationError):
+            server.execute("GINSERT 1")
+        with pytest.raises(IntegrationError):
+            server.execute("GINSERT a b")
+        with pytest.raises(IntegrationError):
+            server.execute("GNEIGHBORS")
+
+    def test_tokenised_command_form(self, server):
+        assert server.execute(["GINSERT", 4, 5]) == 1
+        assert server.execute(["GQUERY", "4", "5"]) == 1
+
+
+class TestPersistence:
+    def test_rdb_round_trip(self, server):
+        server.execute("SET color blue")
+        server.execute("GINSERT 1 2")
+        server.execute("GINSERT 1 2")
+        snapshot = server.save_rdb()
+
+        restored = MiniRedisServer()
+        restored.load_module(CuckooGraphModule())
+        restored.load_rdb(snapshot)
+        assert restored.execute("GET color") == "blue"
+        assert restored.execute("GQUERY 1 2") == 2
+
+    def test_rdb_with_unloaded_module_rejected(self, server):
+        server.execute("GINSERT 1 2")
+        snapshot = server.save_rdb()
+        bare = MiniRedisServer()
+        with pytest.raises(IntegrationError):
+            bare.load_rdb(snapshot)
+
+    def test_aof_log_and_replay(self, server):
+        server.execute("GINSERT 1 2")
+        server.execute("GDEL 1 2")
+        server.execute("SET k v")
+        log = server.aof_log()
+        assert ["GINSERT", "1", "2"] in log
+
+        replayed = MiniRedisServer()
+        replayed.load_module(CuckooGraphModule())
+        replayed.replay_aof(log)
+        assert replayed.execute("GQUERY 1 2") == 0
+        assert replayed.execute("GET k") == "v"
+
+    def test_aof_rewrite_is_minimal(self, server):
+        for _ in range(5):
+            server.execute("GINSERT 7 8")
+        rewritten = server.aof_rewrite()
+        graph_commands = [command for command in rewritten if command[0] == "GINSERT"]
+        assert len(graph_commands) == 5  # weight 5 reconstructed exactly
+        replayed = MiniRedisServer()
+        replayed.load_module(CuckooGraphModule())
+        replayed.replay_aof(rewritten)
+        assert replayed.execute("GQUERY 7 8") == 5
