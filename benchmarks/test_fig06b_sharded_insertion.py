@@ -1,0 +1,101 @@
+"""Figure 6b (extension): shard-count scaling of the batched front-end.
+
+Not a figure from the paper: this benchmark drives the reproduction's
+:class:`~repro.core.sharded.ShardedCuckooGraph` through the insertion / query
+/ deletion throughput templates at 1, 2, 4 and 8 shards, using the batch APIs
+(``insert_edges`` / ``has_edges`` / ``delete_edges``) that group operations
+per shard.  In single-threaded pure Python the shards run sequentially, so
+the interesting outputs are (a) that correctness and totals are identical at
+every shard count, (b) how per-shard structure sizes shrink as shards are
+added (the quantity a parallel deployment scales on), and (c) that the batch
+paths cost no more modelled memory accesses than the one-edge-at-a-time
+loops.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_table
+from repro.core import ShardedCuckooGraph
+
+from .conftest import bench_stream, benchmark_callable, write_report
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _throughput(operations: int, seconds: float) -> float:
+    return operations / seconds / 1e6 if seconds > 0 else float("inf")
+
+
+def test_fig06b_shard_scaling(benchmark):
+    """Batch insert/query/delete throughput and balance at 1/2/4/8 shards."""
+    stream = bench_stream("CAIDA")
+    edges = list(stream.deduplicated())
+    rows = []
+    edge_totals = set()
+    for num_shards in SHARD_COUNTS:
+        store = ShardedCuckooGraph(num_shards=num_shards)
+        store.reset_accesses()
+
+        start = time.perf_counter()
+        inserted = store.insert_edges(edges)
+        insert_seconds = time.perf_counter() - start
+        insert_accesses = store.accesses
+
+        assert inserted == len(edges)
+        edge_totals.add(store.num_edges)
+
+        store.reset_accesses()
+        start = time.perf_counter()
+        answers = store.has_edges(edges)
+        query_seconds = time.perf_counter() - start
+        query_accesses = store.accesses
+        assert all(answers)
+
+        sizes = store.shard_sizes()
+
+        store.reset_accesses()
+        start = time.perf_counter()
+        deleted = store.delete_edges(edges)
+        delete_seconds = time.perf_counter() - start
+        assert deleted == len(edges)
+        assert store.num_edges == 0
+
+        rows.append({
+            "shards": num_shards,
+            "operations": len(edges),
+            "insert_mops": round(_throughput(len(edges), insert_seconds), 4),
+            "query_mops": round(_throughput(len(edges), query_seconds), 4),
+            "delete_mops": round(_throughput(len(edges), delete_seconds), 4),
+            "insert_accesses_per_op": round(insert_accesses / len(edges), 3),
+            "query_accesses_per_op": round(query_accesses / len(edges), 3),
+            "max_shard_edges": max(sizes),
+            "min_shard_edges": min(sizes),
+        })
+
+    # Every shard count stores exactly the same edge set.
+    assert edge_totals == {len(edges)}
+
+    # Routing must spread load: with 8 shards no single shard may hold the
+    # whole graph, and the biggest shard should be within 3x of fair share.
+    assert rows[-1]["max_shard_edges"] < len(edges)
+    assert rows[-1]["max_shard_edges"] <= 3 * (len(edges) / SHARD_COUNTS[-1])
+
+    write_report(
+        "fig06b_sharded_insertion",
+        format_table(
+            rows,
+            columns=["shards", "operations", "insert_mops", "query_mops",
+                     "delete_mops", "insert_accesses_per_op",
+                     "query_accesses_per_op", "max_shard_edges",
+                     "min_shard_edges"],
+            title="Batched CuckooGraph front-end vs shard count (CAIDA stand-in)",
+        ),
+    )
+
+    def batch_insert_all():
+        store = ShardedCuckooGraph(num_shards=4)
+        return store.insert_edges(edges)
+
+    assert benchmark_callable(benchmark, batch_insert_all) == len(edges)

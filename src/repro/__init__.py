@@ -22,6 +22,7 @@ from .core import (
     CuckooGraphConfig,
     MultiEdgeCuckooGraph,
     PAPER_CONFIG,
+    ShardedCuckooGraph,
     WeightedCuckooGraph,
 )
 from .interfaces import DynamicGraphStore, WeightedGraphStore
@@ -34,6 +35,7 @@ __all__ = [
     "DynamicGraphStore",
     "MultiEdgeCuckooGraph",
     "PAPER_CONFIG",
+    "ShardedCuckooGraph",
     "WeightedCuckooGraph",
     "WeightedGraphStore",
     "__version__",

@@ -27,12 +27,25 @@ from ..analytics import (
     top_degree_subgraph,
 )
 from ..baselines import COMPETITORS
-from ..core import CuckooGraph, CuckooGraphConfig, WeightedCuckooGraph
+from ..core import CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph, WeightedCuckooGraph
 from ..datasets import EdgeStream, load_dataset
 from ..interfaces import DynamicGraphStore
 
 #: Name the paper uses for CuckooGraph in every figure legend.
 OURS = "Ours"
+
+#: The sharded scale-out front-end (this reproduction's extension, not a
+#: scheme from the paper); four shards is the default deployment unit.
+SHARDED = "Ours-Sharded"
+
+#: Default shard count used when the sharded scheme is built by name.
+DEFAULT_SHARDS = 4
+
+#: Schemes that *are* CuckooGraph (single-instance or sharded).  The
+#: "CuckooGraph beats each competitor" shape checks iterate the complement
+#: of this set, so registering another of our own variants never turns it
+#: into a competitor.
+OURS_FAMILY = frozenset({OURS, SHARDED})
 
 #: Scheme name -> store factory, in the order the figures list them.
 #: WBI's bucket matrix is sized so that its edges-per-bucket load on the
@@ -44,6 +57,7 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
     "Spruce": COMPETITORS["Spruce"],
     "Sortledton": COMPETITORS["Sortledton"],
     OURS: CuckooGraph,
+    SHARDED: lambda: ShardedCuckooGraph(num_shards=DEFAULT_SHARDS),
     "WBI": lambda: COMPETITORS["WBI"](matrix_size=16),
 }
 
@@ -51,12 +65,16 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
 def build_store(scheme: str, config: Optional[CuckooGraphConfig] = None) -> DynamicGraphStore:
     """Instantiate a scheme by figure-legend name.
 
-    ``config`` only applies to CuckooGraph (the parameter-sweep figures).
+    ``config`` only applies to the CuckooGraph family (the parameter-sweep
+    figures); the sharded front-end passes it down to every shard.
     """
     if scheme not in SCHEMES:
         raise KeyError(f"unknown scheme {scheme!r}; expected one of {list(SCHEMES)}")
-    if scheme == OURS and config is not None:
-        return CuckooGraph(config)
+    if config is not None:
+        if scheme == OURS:
+            return CuckooGraph(config)
+        if scheme == SHARDED:
+            return ShardedCuckooGraph(num_shards=DEFAULT_SHARDS, config=config)
     return SCHEMES[scheme]()
 
 

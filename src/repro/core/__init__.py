@@ -9,6 +9,10 @@ The public entry points are:
 * :class:`~repro.core.multiedge.MultiEdgeCuckooGraph` -- the Neo4j-flavoured
   variant keeping a list of parallel-edge identifiers per node pair
   (Section V-G);
+* :class:`~repro.core.sharded.ShardedCuckooGraph` -- a batch-capable
+  front-end that hash-partitions source nodes across N independent
+  CuckooGraph shards (the reproduction's scale-out layer, not part of the
+  paper);
 * :class:`~repro.core.config.CuckooGraphConfig` -- the parameter set
   (``d``, ``R``, ``G``, ``Λ``, ``T``, ...).
 """
@@ -28,6 +32,7 @@ from .errors import (
 from .graph import CuckooGraph
 from .hashing import BobHash, HashFamily, ModularHash, MultiplyShiftHash
 from .multiedge import MultiEdgeCuckooGraph
+from .sharded import ShardedCuckooGraph, shard_index
 from .slots import AdjacencyPart2
 from .weighted import WeightedCuckooGraph
 
@@ -49,8 +54,10 @@ __all__ = [
     "MultiplyShiftHash",
     "NotFoundError",
     "PAPER_CONFIG",
+    "ShardedCuckooGraph",
     "SmallDenylist",
     "TableChain",
     "WeightedCuckooGraph",
+    "shard_index",
     "tuning_grid",
 ]

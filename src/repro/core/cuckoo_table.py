@@ -52,6 +52,17 @@ class CuckooHashTable:
         "_size",
         "_counters",
         "_rng",
+        # Hot-path caches: the arrays never resize after construction (growth
+        # happens by chaining whole new tables), so the per-array references,
+        # bucket counts, hash callables and the total cell count are bound
+        # once here instead of being re-derived on every probe.
+        "_array0",
+        "_array1",
+        "_len0",
+        "_len1",
+        "_hash0",
+        "_hash1",
+        "_cells_total",
     )
 
     def __init__(
@@ -82,6 +93,10 @@ class CuckooHashTable:
         self._size = 0
         self._counters = counters if counters is not None else Counters()
         self._rng = rng if rng is not None else random.Random(0xC0FFEE)
+        self._array0, self._array1 = self._arrays
+        self._len0, self._len1 = length, second
+        self._hash0, self._hash1 = hash_pair
+        self._cells_total = (length + second) * d
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,17 +108,17 @@ class CuckooHashTable:
     @property
     def num_buckets(self) -> int:
         """Total number of buckets across both arrays."""
-        return len(self._arrays[0]) + len(self._arrays[1])
+        return self._len0 + self._len1
 
     @property
     def num_cells(self) -> int:
         """Total number of cells (bucket count times ``d``)."""
-        return self.num_buckets * self.d
+        return self._cells_total
 
     @property
     def loading_rate(self) -> float:
         """Fraction of cells currently occupied (``LR`` in the paper)."""
-        return self._size / self.num_cells if self.num_cells else 0.0
+        return self._size / self._cells_total if self._cells_total else 0.0
 
     def __contains__(self, key: int) -> bool:
         return self.get(key, _MISSING) is not _MISSING
@@ -123,19 +138,19 @@ class CuckooHashTable:
     # Core operations
     # ------------------------------------------------------------------ #
 
-    def _bucket_for(self, key: int, which: int) -> dict:
-        array = self._arrays[which]
-        return array[self._hashes[which](key) % len(array)]
-
     def get(self, key: int, default=None):
         """Return the value stored for ``key`` or ``default`` if absent."""
         counters = self._counters
-        for which in (0, 1):
-            bucket = self._bucket_for(key, which)
-            counters.bucket_probes += 1
-            counters.cell_probes += len(bucket)
-            if key in bucket:
-                return bucket[key]
+        bucket = self._array0[self._hash0(key) % self._len0]
+        counters.bucket_probes += 1
+        counters.cell_probes += len(bucket)
+        if key in bucket:
+            return bucket[key]
+        bucket = self._array1[self._hash1(key) % self._len1]
+        counters.bucket_probes += 1
+        counters.cell_probes += len(bucket)
+        if key in bucket:
+            return bucket[key]
         return default
 
     def update(self, key: int, value) -> bool:
@@ -146,12 +161,16 @@ class CuckooHashTable:
         version uses to bump an edge weight.
         """
         counters = self._counters
-        for which in (0, 1):
-            bucket = self._bucket_for(key, which)
-            counters.bucket_probes += 1
-            if key in bucket:
-                bucket[key] = value
-                return True
+        bucket = self._array0[self._hash0(key) % self._len0]
+        counters.bucket_probes += 1
+        if key in bucket:
+            bucket[key] = value
+            return True
+        bucket = self._array1[self._hash1(key) % self._len1]
+        counters.bucket_probes += 1
+        if key in bucket:
+            bucket[key] = value
+            return True
         return False
 
     def insert(self, key: int, value=None) -> Optional[tuple[int, object]]:
@@ -164,37 +183,43 @@ class CuckooHashTable:
         value is overwritten in place.
         """
         counters = self._counters
+        array0, array1 = self._array0, self._array1
+        hash0, hash1 = self._hash0, self._hash1
+        len0, len1 = self._len0, self._len1
+        d = self.d
         current_key, current_value = key, value
         # A random-walk longer than the table has cells cannot make progress,
         # so the effective kick budget of a small table is capped by its size;
         # T remains the budget for tables big enough to use it.
-        kick_budget = min(self.max_kicks, self.num_cells)
+        kick_budget = min(self.max_kicks, self._cells_total)
         for kick in range(kick_budget + 1):
             counters.insert_attempts += 1
-            buckets = [self._bucket_for(current_key, which) for which in (0, 1)]
+            bucket0 = array0[hash0(current_key) % len0]
+            bucket1 = array1[hash1(current_key) % len1]
             counters.bucket_probes += 2
             if kick == 0:
                 # Overwrite in place if the key already resides in the table;
                 # the presence check reuses the buckets just probed so it
                 # costs no extra memory accesses.
-                for bucket in buckets:
-                    if current_key in bucket:
-                        bucket[current_key] = current_value
-                        return None
-            placed = False
-            for bucket in buckets:
-                if len(bucket) < self.d:
-                    bucket[current_key] = current_value
-                    self._size += 1
-                    placed = True
-                    break
-            if placed:
+                if current_key in bucket0:
+                    bucket0[current_key] = current_value
+                    return None
+                if current_key in bucket1:
+                    bucket1[current_key] = current_value
+                    return None
+            if len(bucket0) < d:
+                bucket0[current_key] = current_value
+                self._size += 1
+                return None
+            if len(bucket1) < d:
+                bucket1[current_key] = current_value
+                self._size += 1
                 return None
             if kick == kick_budget:
                 break
             # Both candidate buckets are full: kick a random resident out of a
             # randomly chosen candidate bucket and take its place.
-            victim_bucket = buckets[self._rng.randrange(2)]
+            victim_bucket = bucket0 if self._rng.randrange(2) == 0 else bucket1
             victim_key = self._rng.choice(list(victim_bucket.keys()))
             victim_value = victim_bucket.pop(victim_key)
             victim_bucket[current_key] = current_value
@@ -206,13 +231,18 @@ class CuckooHashTable:
     def delete(self, key: int) -> bool:
         """Remove ``key`` from the table; return ``True`` if it was present."""
         counters = self._counters
-        for which in (0, 1):
-            bucket = self._bucket_for(key, which)
-            counters.bucket_probes += 1
-            if key in bucket:
-                del bucket[key]
-                self._size -= 1
-                return True
+        bucket = self._array0[self._hash0(key) % self._len0]
+        counters.bucket_probes += 1
+        if key in bucket:
+            del bucket[key]
+            self._size -= 1
+            return True
+        bucket = self._array1[self._hash1(key) % self._len1]
+        counters.bucket_probes += 1
+        if key in bucket:
+            del bucket[key]
+            self._size -= 1
+            return True
         return False
 
     def pop_all(self) -> list[tuple[int, object]]:

@@ -111,8 +111,16 @@ class DynamicGraphStore(ABC):
         return sum(1 for _ in self.nodes())
 
     # ------------------------------------------------------------------ #
-    # Bulk helpers shared by examples and benchmarks
+    # Batch operations shared by examples, benchmarks and front-ends
     # ------------------------------------------------------------------ #
+    #
+    # Every store gets a loop-based batch API for free, so batch-aware
+    # callers (the benchmark harness, the sharded front-end, the database
+    # integrations) can be written once against ``DynamicGraphStore``.
+    # Implementations that can do better -- for example
+    # :class:`repro.core.sharded.ShardedCuckooGraph`, which groups a batch
+    # per shard to amortize routing -- override these with the same
+    # signatures and semantics.
 
     def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
         """Insert a batch of edges; return the number that were new."""
@@ -129,6 +137,19 @@ class DynamicGraphStore(ABC):
             if self.delete_edge(u, v):
                 deleted += 1
         return deleted
+
+    def has_edges(self, edges: Iterable[tuple[int, int]]) -> list[bool]:
+        """Membership of a batch of edges, in input order."""
+        return [self.has_edge(u, v) for u, v in edges]
+
+    def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        """Successor lists for a batch of source nodes.
+
+        The result maps each *distinct* requested node to its successor list
+        (empty for unknown nodes), so callers can fan a frontier out in one
+        call instead of one ``successors`` round-trip per node.
+        """
+        return {u: self.successors(u) for u in dict.fromkeys(nodes)}
 
 
 class WeightedGraphStore(DynamicGraphStore):

@@ -7,7 +7,7 @@ from collections import defaultdict
 
 import pytest
 
-from repro import CuckooGraph, WeightedCuckooGraph
+from repro import CuckooGraph, ShardedCuckooGraph, WeightedCuckooGraph
 from repro.baselines import (
     AdjacencyListGraph,
     CSRGraph,
@@ -22,6 +22,7 @@ from repro.baselines import (
 ALL_STORE_FACTORIES = {
     "CuckooGraph": CuckooGraph,
     "WeightedCuckooGraph": WeightedCuckooGraph,
+    "ShardedCuckooGraph": lambda: ShardedCuckooGraph(num_shards=4),
     "AdjacencyList": AdjacencyListGraph,
     "CSR": lambda: CSRGraph(rebuild_threshold=64),
     "LiveGraph": LiveGraphStore,

@@ -1,0 +1,126 @@
+"""Differential property test: CuckooGraph vs sharded vs adjacency oracle.
+
+A random insert / query / delete operation sequence is driven, batch by
+batch, through three stores at once:
+
+* :class:`~repro.core.graph.CuckooGraph` -- the paper's structure;
+* :class:`~repro.core.sharded.ShardedCuckooGraph` -- the batch-capable
+  front-end (exercised through its batch APIs, so grouping/scatter bugs
+  cannot hide);
+* :class:`~repro.baselines.adjacency.AdjacencyListGraph` -- the trivially
+  correct oracle.
+
+After every batch the observable state of the three stores must be
+identical: per-operation results, edge sets, edge counts, successor lists
+and membership answers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CuckooGraph, ShardedCuckooGraph
+from repro.baselines import AdjacencyListGraph
+
+#: Node-id universe; small enough that inserts, deletes and queries collide.
+NODE_RANGE = 60
+
+
+def random_batch(rng: random.Random, size: int) -> list[tuple[str, int, int]]:
+    ops = []
+    for _ in range(size):
+        action = rng.choice(["insert", "insert", "insert", "delete", "query"])
+        ops.append((action, rng.randrange(NODE_RANGE), rng.randrange(NODE_RANGE)))
+    return ops
+
+
+def assert_observably_identical(cuckoo, sharded, oracle):
+    """The full observable DynamicGraphStore state must agree everywhere."""
+    expected = sorted(oracle.edges())
+    assert sorted(cuckoo.edges()) == expected
+    assert sorted(sharded.edges()) == expected
+    assert cuckoo.num_edges == sharded.num_edges == oracle.num_edges
+    sources = {u for u, _ in expected}
+    fanned = sharded.successors_many(range(NODE_RANGE))
+    for u in range(NODE_RANGE):
+        reference = sorted(oracle.successors(u))
+        assert sorted(cuckoo.successors(u)) == reference
+        assert sorted(fanned[u]) == reference
+        assert cuckoo.out_degree(u) == sharded.out_degree(u) == len(reference)
+        assert cuckoo.has_node(u) == sharded.has_node(u) == (u in sources)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 20240515])
+@pytest.mark.parametrize("num_shards", [1, 3, 8])
+def test_random_operation_batches_agree(seed, num_shards):
+    """Batched random workloads leave all three stores observably identical."""
+    rng = random.Random(seed)
+    cuckoo = CuckooGraph()
+    sharded = ShardedCuckooGraph(num_shards=num_shards)
+    oracle = AdjacencyListGraph()
+    for _ in range(12):
+        batch = random_batch(rng, rng.randrange(10, 120))
+        inserts = [(u, v) for action, u, v in batch if action == "insert"]
+        deletes = [(u, v) for action, u, v in batch if action == "delete"]
+        queries = [(u, v) for action, u, v in batch if action == "query"]
+
+        # The sharded store consumes whole batches; the single-instance
+        # stores replay the same per-operation stream.  Results must agree
+        # operation by operation, not just in aggregate.
+        assert sharded.insert_edges(inserts) == \
+            sum(oracle.insert_edge(u, v) for u, v in inserts)
+        for u, v in inserts:
+            cuckoo.insert_edge(u, v)
+        sharded_deleted = sharded.delete_edges(deletes)
+        oracle_deleted = 0
+        for u, v in deletes:
+            present = oracle.delete_edge(u, v)
+            assert cuckoo.delete_edge(u, v) == present
+            oracle_deleted += present
+        assert sharded_deleted == oracle_deleted
+        assert sharded.has_edges(queries) == [oracle.has_edge(u, v) for u, v in queries]
+        for u, v in queries:
+            assert cuckoo.has_edge(u, v) == oracle.has_edge(u, v)
+
+        assert_observably_identical(cuckoo, sharded, oracle)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "query"]),
+                st.integers(min_value=0, max_value=NODE_RANGE - 1),
+                st.integers(min_value=0, max_value=NODE_RANGE - 1),
+            ),
+            max_size=60,
+        ),
+        max_size=6,
+    ),
+    num_shards=st.integers(min_value=1, max_value=6),
+)
+def test_hypothesis_batches_agree(batches, num_shards):
+    """Hypothesis-driven version: adversarial batches, any shard count."""
+    cuckoo = CuckooGraph()
+    sharded = ShardedCuckooGraph(num_shards=num_shards)
+    oracle = AdjacencyListGraph()
+    for batch in batches:
+        inserts = [(u, v) for action, u, v in batch if action == "insert"]
+        deletes = [(u, v) for action, u, v in batch if action == "delete"]
+        queries = [(u, v) for action, u, v in batch if action == "query"]
+        oracle_inserted = sum(oracle.insert_edge(u, v) for u, v in inserts)
+        assert sharded.insert_edges(inserts) == oracle_inserted
+        assert sum(cuckoo.insert_edge(u, v) for u, v in inserts) == oracle_inserted
+        oracle_deleted = sum(oracle.delete_edge(u, v) for u, v in deletes)
+        assert sharded.delete_edges(deletes) == oracle_deleted
+        assert sum(cuckoo.delete_edge(u, v) for u, v in deletes) == oracle_deleted
+        expected_answers = [oracle.has_edge(u, v) for u, v in queries]
+        assert sharded.has_edges(queries) == expected_answers
+        assert cuckoo.has_edges(queries) == expected_answers
+
+        expected_edges = sorted(oracle.edges())
+        assert sorted(sharded.edges()) == expected_edges
+        assert sorted(cuckoo.edges()) == expected_edges
+        assert sharded.num_edges == cuckoo.num_edges == len(expected_edges)

@@ -1,0 +1,197 @@
+"""Tests for the sharded batch-capable CuckooGraph front-end.
+
+Contract conformance is covered by the cross-store suite in
+``tests/baselines/test_store_contract.py`` (the sharded store is registered
+in ``ALL_STORE_FACTORIES``); this module checks the sharding-specific
+guarantees: routing stability, batch-vs-loop equivalence, aggregation of
+counters and memory, and the weighted pass-throughs.
+"""
+
+import pytest
+
+from repro import CuckooGraph, ShardedCuckooGraph
+from repro.core import CuckooGraphConfig
+from repro.core.errors import ConfigurationError
+from repro.core.sharded import shard_index
+
+
+class TestRouting:
+    def test_same_node_always_lands_on_same_shard(self, rng):
+        graph = ShardedCuckooGraph(num_shards=4)
+        for _ in range(500):
+            u = rng.randrange(10**6)
+            assert graph.shard_of(u) == graph.shard_of(u) == shard_index(u, 4)
+
+    def test_routing_is_stable_across_instances(self):
+        first = ShardedCuckooGraph(num_shards=8)
+        second = ShardedCuckooGraph(num_shards=8)
+        assert [first.shard_of(u) for u in range(1000)] == \
+               [second.shard_of(u) for u in range(1000)]
+
+    def test_all_out_edges_of_a_node_share_a_shard(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        for shard_id, shard in enumerate(graph.shards):
+            for u, _ in shard.edges():
+                assert graph.shard_of(u) == shard_id
+
+    def test_shards_spread_load(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        sizes = graph.shard_sizes()
+        assert sum(sizes) == len(small_edge_set)
+        assert all(size > 0 for size in sizes)
+
+    def test_single_shard_matches_plain_cuckoograph(self, small_edge_set):
+        sharded = ShardedCuckooGraph(num_shards=1)
+        plain = CuckooGraph()
+        for u, v in small_edge_set:
+            assert sharded.insert_edge(u, v) == plain.insert_edge(u, v)
+        assert sorted(sharded.edges()) == sorted(plain.edges())
+        assert sharded.num_edges == plain.num_edges
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCuckooGraph(num_shards=0)
+
+    def test_shards_use_distinct_hash_seeds(self):
+        graph = ShardedCuckooGraph(num_shards=4, config=CuckooGraphConfig(seed=7))
+        assert sorted(shard.config.seed for shard in graph.shards) == [7, 8, 9, 10]
+
+
+class TestBatchEquivalence:
+    """Each batch API must observably equal its one-at-a-time loop."""
+
+    def test_insert_edges_matches_loop(self, small_edge_set):
+        batched = ShardedCuckooGraph(num_shards=4)
+        looped = ShardedCuckooGraph(num_shards=4)
+        inserted = batched.insert_edges(small_edge_set)
+        assert inserted == sum(looped.insert_edge(u, v) for u, v in small_edge_set)
+        assert sorted(batched.edges()) == sorted(looped.edges())
+        # Re-inserting the same batch finds nothing new.
+        assert batched.insert_edges(small_edge_set[:100]) == 0
+
+    def test_delete_edges_matches_loop(self, small_edge_set):
+        batched = ShardedCuckooGraph(num_shards=4)
+        looped = ShardedCuckooGraph(num_shards=4)
+        batched.insert_edges(small_edge_set)
+        looped.insert_edges(small_edge_set)
+        victims = small_edge_set[:500] + [(10**9, 10**9)]
+        assert batched.delete_edges(victims) == \
+               sum(looped.delete_edge(u, v) for u, v in victims) == 500
+        assert sorted(batched.edges()) == sorted(looped.edges())
+
+    def test_has_edges_preserves_input_order(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set[:600])
+        probe = small_edge_set + [(10**9, 1), (10**9, 2)]
+        answers = graph.has_edges(probe)
+        assert answers == [graph.has_edge(u, v) for u, v in probe]
+        assert answers[:600] == [True] * 600
+        assert answers[-2:] == [False, False]
+
+    def test_successors_many_matches_per_node_queries(self, small_edge_set, reference):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        adjacency = reference(small_edge_set)
+        nodes = list(adjacency) + [10**9]
+        fanned = graph.successors_many(nodes)
+        assert set(fanned) == set(nodes)
+        for u in nodes:
+            assert sorted(fanned[u]) == sorted(adjacency.get(u, set()))
+        # Duplicate requests collapse to one answer per distinct node.
+        assert list(graph.successors_many([1, 1, 1])) == [1]
+
+    def test_batch_costs_no_more_accesses_than_loop(self, small_edge_set):
+        batched = ShardedCuckooGraph(num_shards=4)
+        looped = ShardedCuckooGraph(num_shards=4)
+        batched.insert_edges(small_edge_set)
+        looped.insert_edges(small_edge_set)
+        batched.reset_accesses()
+        looped.reset_accesses()
+        batched.has_edges(small_edge_set)
+        for u, v in small_edge_set:
+            looped.has_edge(u, v)
+        assert batched.accesses == looped.accesses
+
+
+class TestAggregation:
+    def test_counters_aggregate_across_shards(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        graph.has_edges(small_edge_set)
+        graph.delete_edges(small_edge_set[:100])
+        totals = graph.counters
+        assert totals.edges_inserted == len(small_edge_set)
+        assert totals.edges_queried == len(small_edge_set)
+        assert totals.edges_deleted == 100
+        per_shard = [shard.counters for shard in graph.shards]
+        assert totals.bucket_probes == sum(c.bucket_probes for c in per_shard)
+        assert totals.insert_attempts == sum(c.insert_attempts for c in per_shard)
+
+    def test_memory_aggregates_across_shards(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        assert graph.memory_bytes() == \
+               sum(shard.memory_bytes() for shard in graph.shards)
+        assert graph.memory_bytes() > 0
+
+    def test_accesses_aggregate_and_reset(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        assert graph.accesses == sum(shard.accesses for shard in graph.shards)
+        assert graph.accesses > 0
+        graph.reset_accesses()
+        assert graph.accesses == 0
+        assert all(shard.accesses == 0 for shard in graph.shards)
+
+    def test_structure_summary_reports_every_shard(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        summary = graph.structure_summary()
+        assert summary["num_shards"] == 4
+        assert summary["num_edges"] == len(small_edge_set)
+        assert len(summary["shards"]) == 4
+        assert summary["shard_edge_counts"] == graph.shard_sizes()
+
+    def test_num_source_nodes_aggregates(self, small_edge_set, reference):
+        graph = ShardedCuckooGraph(num_shards=4)
+        graph.insert_edges(small_edge_set)
+        assert graph.num_source_nodes == len(reference(small_edge_set))
+
+
+class TestWeightedSharding:
+    def test_weighted_shards_count_duplicates(self):
+        graph = ShardedCuckooGraph(num_shards=4, weighted=True)
+        assert graph.insert_weighted_edge(1, 2) == 1
+        assert graph.insert_weighted_edge(1, 2) == 2
+        assert graph.edge_weight(1, 2) == 2
+        assert graph.delete_edge(1, 2) is False  # decrements to weight 1
+        assert graph.has_edge(1, 2)
+        assert graph.delete_edge(1, 2) is True
+        assert not graph.has_edge(1, 2)
+
+    def test_weighted_edges_iterates_all_shards(self):
+        graph = ShardedCuckooGraph(num_shards=4, weighted=True)
+        for u in range(50):
+            graph.insert_weighted_edge(u, u + 1)
+            graph.insert_weighted_edge(u, u + 1)
+        triples = sorted(graph.weighted_edges())
+        assert triples == [(u, u + 1, 2) for u in range(50)]
+
+    def test_custom_weighted_factory_enables_weighted_operations(self):
+        from repro import WeightedCuckooGraph
+
+        graph = ShardedCuckooGraph(num_shards=2, shard_factory=WeightedCuckooGraph)
+        assert graph.weighted is True
+        assert graph.insert_weighted_edge(1, 2) == 1
+        assert graph.insert_weighted_edge(1, 2) == 2
+
+    def test_weighted_operations_rejected_on_basic_shards(self):
+        graph = ShardedCuckooGraph(num_shards=2)
+        with pytest.raises(TypeError):
+            graph.insert_weighted_edge(1, 2)
+        with pytest.raises(TypeError):
+            graph.edge_weight(1, 2)
+        with pytest.raises(TypeError):
+            list(graph.weighted_edges())
