@@ -145,9 +145,15 @@ def run_analytics_figure(figure: str, task: str, benchmark,
             rows.append(result.as_row())
     write_report(
         figure,
-        format_table(rows, columns=["dataset", "scheme", "task", "seconds", "detail"],
-                     title=f"Running time of {task} on every dataset and scheme"),
+        format_table(rows,
+                     columns=["dataset", "scheme", "task", "seconds", "batch_calls",
+                              "accesses", "detail"],
+                     title=f"Running time of {task} on every dataset and scheme "
+                           f"(batched traversal engine)"),
     )
+    # Every scheme must have been driven through the batch layer: the engine
+    # issues at least one batched store call per cell.
+    assert all(row["batch_calls"] >= 1 for row in rows)
     # Every cell must have completed with a non-negative running time.
     assert all(row["seconds"] >= 0 for row in rows)
     assert len(rows) == len(DATASET_ORDER) * len(SCHEMES)

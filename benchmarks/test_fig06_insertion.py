@@ -4,7 +4,6 @@ from repro.bench import OURS
 from repro.core import CuckooGraph
 
 from .conftest import (
-    assert_ours_wins_majority,
     bench_stream,
     benchmark_callable,
     operation_table,

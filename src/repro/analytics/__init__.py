@@ -3,10 +3,19 @@
 Every kernel operates on any :class:`~repro.interfaces.DynamicGraphStore`
 through its successor / edge queries, so the same code path is timed for
 CuckooGraph and for every baseline -- exactly the paper's methodology.
+
+All kernels are *frontier-batched*: they drive the store through the shared
+:class:`~repro.analytics.engine.TraversalEngine`, which expands whole
+frontiers with one ``successors_many`` call and answers edge probes with one
+``has_edges`` call, so batch-capable stores (notably the sharded front-end)
+see per-shard groups instead of single-node round-trips.  Outputs are
+byte-identical to the historical per-node implementations (see
+``tests/analytics/test_engine_parity.py``).
 """
 
 from .betweenness import betweenness_centrality, top_betweenness
 from .bfs import bfs, bfs_from_top_nodes, bfs_levels
+from .engine import TraversalEngine, ensure_engine
 from .components import (
     count_components,
     strongly_connected_components,
@@ -29,10 +38,12 @@ from .subgraph import (
 from .triangles import count_triangles, count_triangles_of_node, total_directed_triangles
 
 __all__ = [
+    "TraversalEngine",
     "all_local_clustering_coefficients",
     "average_clustering",
     "betweenness_centrality",
     "bfs",
+    "ensure_engine",
     "bfs_from_top_nodes",
     "bfs_levels",
     "count_components",

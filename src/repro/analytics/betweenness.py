@@ -3,7 +3,10 @@
 The paper runs the Brandes algorithm on the subgraph induced by the
 highest-total-degree nodes.  Brandes performs one BFS (for unweighted graphs)
 per source and accumulates pair dependencies on the way back, so the store is
-exercised exclusively through successor queries.
+exercised exclusively through successor queries -- here a single batched
+materialization: the whole adjacency is fetched with one ``successors_many``
+call through the :class:`~repro.analytics.engine.TraversalEngine` and every
+per-source BFS runs on the resulting dictionary.
 """
 
 from __future__ import annotations
@@ -12,12 +15,18 @@ from collections import deque
 from typing import Iterable, Optional
 
 from ..interfaces import DynamicGraphStore
+from .engine import TraversalEngine, ensure_engine
+
+#: Adjacency fallback for sources the store has never seen.
+_NO_SUCCESSORS: list[int] = []
 
 
 def betweenness_centrality(
     store: DynamicGraphStore,
     sources: Optional[Iterable[int]] = None,
     normalized: bool = True,
+    *,
+    engine: Optional[TraversalEngine] = None,
 ) -> dict[int, float]:
     """Betweenness centrality of every node (Brandes, unweighted).
 
@@ -28,8 +37,11 @@ def betweenness_centrality(
             standard sampled approximation.
         normalized: Whether to scale scores by ``1 / ((n-1)(n-2))`` for
             directed graphs with ``n > 2`` nodes.
+        engine: Optional shared traversal engine (batch accounting).
     """
+    engine = ensure_engine(store, engine)
     nodes = list(store.nodes())
+    adjacency = engine.materialize(nodes)
     centrality = {node: 0.0 for node in nodes}
     source_nodes = list(sources) if sources is not None else nodes
 
@@ -45,7 +57,7 @@ def betweenness_centrality(
         while queue:
             node = queue.popleft()
             order.append(node)
-            for neighbour in store.successors(node):
+            for neighbour in adjacency.get(node, _NO_SUCCESSORS):
                 if neighbour not in distance:
                     # Neighbour outside the node universe (possible when the
                     # caller restricted sources to a subgraph); skip it.
@@ -75,6 +87,10 @@ def betweenness_centrality(
 
 
 def top_betweenness(store: DynamicGraphStore, count: int = 10, **kwargs) -> list[tuple[int, float]]:
-    """The ``count`` nodes with the highest betweenness centrality."""
+    """The ``count`` nodes with the highest betweenness centrality.
+
+    Keyword arguments (including ``engine``) pass to
+    :func:`betweenness_centrality`.
+    """
     scores = betweenness_centrality(store, **kwargs)
     return sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:count]

@@ -10,16 +10,26 @@ number".  Two kernels are provided:
   handy for tests and for datasets where weak connectivity is the more
   natural notion.
 
-Both only use the store's successor query / edge iteration.
+Both materialise the adjacency with **one** batched ``successors_many`` call
+through the :class:`~repro.analytics.engine.TraversalEngine` and run the
+graph algorithm on the resulting dictionaries, so the store-dependent phase
+is a single batch instead of a successor query per node visit (Tarjan's
+iterative form previously re-queried a node's successors at every resume).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..interfaces import DynamicGraphStore
+from .engine import TraversalEngine, ensure_engine
 
 
-def strongly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
+def strongly_connected_components(
+    store: DynamicGraphStore, *, engine: Optional[TraversalEngine] = None,
+) -> list[list[int]]:
     """Tarjan's strongly connected components, implemented iteratively."""
+    engine = ensure_engine(store, engine)
     index_of: dict[int, int] = {}
     lowlink: dict[int, int] = {}
     on_stack: set[int] = set()
@@ -28,6 +38,7 @@ def strongly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
     next_index = 0
 
     all_nodes = list(store.nodes())
+    adjacency = engine.materialize(all_nodes)
     for root in all_nodes:
         if root in index_of:
             continue
@@ -41,7 +52,7 @@ def strongly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
                 next_index += 1
                 stack.append(node)
                 on_stack.add(node)
-            successors = store.successors(node)
+            successors = adjacency[node]
             advanced = False
             for offset in range(position, len(successors)):
                 neighbour = successors[offset]
@@ -69,8 +80,11 @@ def strongly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
     return components
 
 
-def weakly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
+def weakly_connected_components(
+    store: DynamicGraphStore, *, engine: Optional[TraversalEngine] = None,
+) -> list[list[int]]:
     """Connected components of the undirected view, via union-find."""
+    engine = ensure_engine(store, engine)
     parent: dict[int, int] = {}
 
     def find(node: int) -> int:
@@ -86,12 +100,13 @@ def weakly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
         if root_a != root_b:
             parent[root_b] = root_a
 
-    for node in store.nodes():
+    all_nodes = list(store.nodes())
+    adjacency = engine.materialize(all_nodes)
+    for node in all_nodes:
         parent.setdefault(node, node)
-    for u, v in store.edges():
-        parent.setdefault(u, u)
-        parent.setdefault(v, v)
-        union(u, v)
+    for u in all_nodes:
+        for v in adjacency[u]:
+            union(u, v)
 
     groups: dict[int, list[int]] = {}
     for node in parent:
@@ -99,8 +114,11 @@ def weakly_connected_components(store: DynamicGraphStore) -> list[list[int]]:
     return list(groups.values())
 
 
-def count_components(store: DynamicGraphStore, strongly: bool = True) -> int:
+def count_components(
+    store: DynamicGraphStore, strongly: bool = True, *,
+    engine: Optional[TraversalEngine] = None,
+) -> int:
     """Number of (strongly or weakly) connected components."""
     if strongly:
-        return len(strongly_connected_components(store))
-    return len(weakly_connected_components(store))
+        return len(strongly_connected_components(store, engine=engine))
+    return len(weakly_connected_components(store, engine=engine))

@@ -2,11 +2,12 @@
 
 The paper builds the transition structure from successor queries against each
 store and then iterates the PageRank update 100 times on the extracted
-subgraph.  The kernel below mirrors that: one pass of successor queries
-materialises the adjacency needed for the iteration, and the iteration itself
-is plain Python so every scheme pays the same arithmetic cost -- the
-difference between schemes is exactly the successor-query phase the paper
-analyses.
+subgraph.  The kernel below mirrors that: one *batched* materialization pass
+(a single ``successors_many`` call through the
+:class:`~repro.analytics.engine.TraversalEngine`) builds the adjacency needed
+for the iteration, and the iteration itself is plain Python so every scheme
+pays the same arithmetic cost -- the difference between schemes is exactly
+the successor-query phase the paper analyses.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..interfaces import DynamicGraphStore
+from .engine import TraversalEngine, ensure_engine
 
 #: Damping factor used by the standard PageRank formulation.
 DEFAULT_DAMPING = 0.85
@@ -26,6 +28,8 @@ def pagerank(
     iterations: int = DEFAULT_ITERATIONS,
     damping: float = DEFAULT_DAMPING,
     tolerance: Optional[float] = None,
+    *,
+    engine: Optional[TraversalEngine] = None,
 ) -> dict[int, float]:
     """PageRank scores of every node in the store.
 
@@ -35,15 +39,18 @@ def pagerank(
         damping: Damping factor ``d`` of the PageRank formulation.
         tolerance: Optional L1 early-exit threshold; ``None`` reproduces the
             paper's fixed-iteration behaviour.
+        engine: Optional shared traversal engine (batch accounting).
 
     Returns:
         Mapping from node to score; scores sum to 1 over all nodes.
     """
+    engine = ensure_engine(store, engine)
     nodes = list(store.nodes())
     if not nodes:
         return {}
-    # Successor-query phase: this is the part whose cost depends on the store.
-    successors: dict[int, list[int]] = {node: store.successors(node) for node in nodes}
+    # Successor-query phase: this is the part whose cost depends on the
+    # store -- one batched materialization instead of a call per node.
+    successors = engine.materialize(nodes)
 
     count = len(nodes)
     rank = {node: 1.0 / count for node in nodes}
@@ -73,6 +80,9 @@ def pagerank(
 
 
 def top_ranked(store: DynamicGraphStore, count: int = 10, **kwargs) -> list[tuple[int, float]]:
-    """The ``count`` highest-ranked nodes as ``(node, score)`` pairs."""
+    """The ``count`` highest-ranked nodes as ``(node, score)`` pairs.
+
+    Keyword arguments (including ``engine``) pass straight to :func:`pagerank`.
+    """
     scores = pagerank(store, **kwargs)
     return sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:count]

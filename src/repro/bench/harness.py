@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..analytics import (
+    TraversalEngine,
     all_local_clustering_coefficients,
     betweenness_centrality,
     bfs,
@@ -158,13 +159,25 @@ class ThroughputResult:
 
 @dataclass(frozen=True)
 class RunningTimeResult:
-    """Running time of one (scheme, dataset) cell of Figures 10-16."""
+    """Running time of one (scheme, dataset) cell of Figures 10-16.
+
+    Alongside the paper's wall-clock seconds, every cell reports how the
+    frontier-batch engine drove the store during the timed kernel phase:
+
+    * ``batch_calls`` -- batched store round-trips issued (``successors_many``
+      expansions plus ``has_edges`` probe batches); the whole point of the
+      engine is that this number is tiny compared to the node/edge count;
+    * ``accesses`` -- modelled memory accesses the store performed, the
+      quantity the paper's own analysis argues about.
+    """
 
     scheme: str
     dataset: str
     task: str
     seconds: float
     detail: str = ""
+    batch_calls: int = 0
+    accesses: int = 0
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -172,6 +185,8 @@ class RunningTimeResult:
             "dataset": self.dataset,
             "task": self.task,
             "seconds": round(self.seconds, 6),
+            "batch_calls": self.batch_calls,
+            "accesses": self.accesses,
             "detail": self.detail,
         }
 
@@ -295,35 +310,53 @@ def _load_full_graph(scheme: str, stream: EdgeStream,
     store = (
         build_cuckoograph_for_stream(stream, config) if scheme == OURS else build_store(scheme)
     )
-    for u, v in stream:
-        store.insert_edge(u, v)
+    store.insert_edges(stream)
     return store
+
+
+def _engine_result(scheme: str, dataset: str, task: str, seconds: float, detail: str,
+                   engine: TraversalEngine, accesses_before: int) -> RunningTimeResult:
+    """Assemble a Figures 10-16 cell with the engine's batch accounting."""
+    return RunningTimeResult(
+        scheme, dataset, task, seconds, detail,
+        batch_calls=engine.batch_calls,
+        accesses=_accesses_of(engine.store) - accesses_before,
+    )
 
 
 def run_bfs_task(scheme: str, dataset: str, stream: EdgeStream,
                  root_count: int = 5) -> RunningTimeResult:
-    """Figure 10: average BFS time from the highest-total-degree roots."""
+    """Figure 10: average BFS time from the highest-total-degree roots.
+
+    The traversals run through the frontier-batch engine, so the cell also
+    reports how many batched store calls the BFS sweeps needed.
+    """
     store = _load_full_graph(scheme, stream)
     roots = top_degree_nodes(store, root_count)
+    engine = TraversalEngine(store)
+    accesses_before = _accesses_of(store)
     start = time.perf_counter()
-    visited_total = sum(len(bfs(store, root)) for root in roots)
+    visited_total = sum(len(bfs(store, root, engine=engine)) for root in roots)
     seconds = (time.perf_counter() - start) / max(1, len(roots))
-    return RunningTimeResult(scheme, dataset, "BFS", seconds, f"visited={visited_total}")
+    return _engine_result(scheme, dataset, "BFS", seconds, f"visited={visited_total}",
+                          engine, accesses_before)
 
 
 def run_sssp_task(scheme: str, dataset: str, stream: EdgeStream,
                   subgraph_nodes: int = 200, source_count: int = 10) -> RunningTimeResult:
     """Figure 11: average Dijkstra time from the 10 highest-degree sources."""
     store = _load_full_graph(scheme, stream)
-    top_nodes = top_degree_nodes(store, subgraph_nodes)
-    subgraph, _ = top_degree_subgraph(store, subgraph_nodes)
+    subgraph, top_nodes = top_degree_subgraph(store, subgraph_nodes)
     sources = top_nodes[:source_count]
+    engine = TraversalEngine(subgraph)
+    accesses_before = _accesses_of(subgraph)
     start = time.perf_counter()
     reached = 0
     for source in sources:
-        reached += len(dijkstra(subgraph, source))
+        reached += len(dijkstra(subgraph, source, engine=engine))
     seconds = (time.perf_counter() - start) / max(1, len(sources))
-    return RunningTimeResult(scheme, dataset, "SSSP", seconds, f"reached={reached}")
+    return _engine_result(scheme, dataset, "SSSP", seconds, f"reached={reached}",
+                          engine, accesses_before)
 
 
 def run_triangle_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -331,10 +364,13 @@ def run_triangle_task(scheme: str, dataset: str, stream: EdgeStream,
     """Figure 12: triangle counting around the highest-degree nodes."""
     store = _load_full_graph(scheme, stream)
     nodes = top_degree_nodes(store, node_count)
+    engine = TraversalEngine(store)
+    accesses_before = _accesses_of(store)
     start = time.perf_counter()
-    triangles = sum(count_triangles_of_node(store, node) for node in nodes)
+    triangles = sum(count_triangles_of_node(store, node, engine=engine) for node in nodes)
     seconds = time.perf_counter() - start
-    return RunningTimeResult(scheme, dataset, "TC", seconds, f"triangles={triangles}")
+    return _engine_result(scheme, dataset, "TC", seconds, f"triangles={triangles}",
+                          engine, accesses_before)
 
 
 def run_cc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -342,10 +378,13 @@ def run_cc_task(scheme: str, dataset: str, stream: EdgeStream,
     """Figure 13: Tarjan connected components on the top-degree subgraph."""
     store = _load_full_graph(scheme, stream)
     subgraph, _ = top_degree_subgraph(store, subgraph_nodes)
+    engine = TraversalEngine(subgraph)
+    accesses_before = _accesses_of(subgraph)
     start = time.perf_counter()
-    components = strongly_connected_components(subgraph)
+    components = strongly_connected_components(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return RunningTimeResult(scheme, dataset, "CC", seconds, f"components={len(components)}")
+    return _engine_result(scheme, dataset, "CC", seconds,
+                          f"components={len(components)}", engine, accesses_before)
 
 
 def run_pagerank_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -353,10 +392,13 @@ def run_pagerank_task(scheme: str, dataset: str, stream: EdgeStream,
     """Figure 14: 100 PageRank iterations on the top-degree subgraph."""
     store = _load_full_graph(scheme, stream)
     subgraph, _ = top_degree_subgraph(store, subgraph_nodes)
+    engine = TraversalEngine(subgraph)
+    accesses_before = _accesses_of(subgraph)
     start = time.perf_counter()
-    scores = pagerank(subgraph, iterations=iterations)
+    scores = pagerank(subgraph, iterations=iterations, engine=engine)
     seconds = time.perf_counter() - start
-    return RunningTimeResult(scheme, dataset, "PR", seconds, f"nodes={len(scores)}")
+    return _engine_result(scheme, dataset, "PR", seconds, f"nodes={len(scores)}",
+                          engine, accesses_before)
 
 
 def run_bc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -364,10 +406,13 @@ def run_bc_task(scheme: str, dataset: str, stream: EdgeStream,
     """Figure 15: Brandes betweenness centrality on the top-degree subgraph."""
     store = _load_full_graph(scheme, stream)
     subgraph, _ = top_degree_subgraph(store, subgraph_nodes)
+    engine = TraversalEngine(subgraph)
+    accesses_before = _accesses_of(subgraph)
     start = time.perf_counter()
-    scores = betweenness_centrality(subgraph)
+    scores = betweenness_centrality(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return RunningTimeResult(scheme, dataset, "BC", seconds, f"nodes={len(scores)}")
+    return _engine_result(scheme, dataset, "BC", seconds, f"nodes={len(scores)}",
+                          engine, accesses_before)
 
 
 def run_lcc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -375,10 +420,13 @@ def run_lcc_task(scheme: str, dataset: str, stream: EdgeStream,
     """Figure 16: local clustering coefficient on the top-degree subgraph."""
     store = _load_full_graph(scheme, stream)
     subgraph, _ = top_degree_subgraph(store, subgraph_nodes)
+    engine = TraversalEngine(subgraph)
+    accesses_before = _accesses_of(subgraph)
     start = time.perf_counter()
-    coefficients = all_local_clustering_coefficients(subgraph)
+    coefficients = all_local_clustering_coefficients(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return RunningTimeResult(scheme, dataset, "LCC", seconds, f"nodes={len(coefficients)}")
+    return _engine_result(scheme, dataset, "LCC", seconds,
+                          f"nodes={len(coefficients)}", engine, accesses_before)
 
 
 #: Task name -> driver, used by the analytics benchmarks and examples.

@@ -26,6 +26,18 @@ that front-end:
   whole group instead of paying them per edge.  Results are scattered back in
   input order where order matters (:meth:`has_edges`).
 
+* **Pluggable executor.**  ``executor="serial"`` (default) drains the
+  per-shard groups one after another; ``executor="threads"`` submits each
+  group to a shared thread pool so independent shards execute concurrently.
+  Because a group only ever touches its own shard, no locking is needed, and
+  results are merged in the same deterministic per-shard order as the serial
+  path, so return values, counters and modelled accesses are identical
+  between the two executors (``tests/core/test_differential.py`` enforces
+  this).  Under CPython's GIL the pure-Python shards do not speed up
+  wall-clock; the executor is the cut point where C-backed or subprocess
+  shards would, and it exercises the concurrency structure a deployment
+  needs.
+
 * **Aggregation.**  ``accesses``, ``counters``, ``memory_bytes`` and
   ``structure_summary`` combine the per-shard quantities, so the sharded
   store drops into every benchmark template and memory experiment unchanged.
@@ -38,7 +50,8 @@ structures (see ``tests/core/test_sharded.py`` and
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Optional, TypeVar
 
 from ..interfaces import DynamicGraphStore, WeightedGraphStore
 from .config import CuckooGraphConfig, PAPER_CONFIG
@@ -48,6 +61,11 @@ from .graph import CuckooGraph
 from .weighted import WeightedCuckooGraph
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Executor names accepted by :class:`ShardedCuckooGraph`.
+EXECUTORS = ("serial", "threads")
+
+_T = TypeVar("_T")
 
 #: Fixed odd multiplier for the shard-routing hash (multiply-shift).  It is a
 #: constant -- not drawn from a seeded RNG -- so that routing is stable across
@@ -77,6 +95,12 @@ class ShardedCuckooGraph(DynamicGraphStore):
             increment a weight) instead of the basic distinct-edge version.
         shard_factory: Optional override constructing one shard from its
             :class:`CuckooGraphConfig`; takes precedence over ``weighted``.
+        executor: ``"serial"`` drains per-shard batch groups sequentially;
+            ``"threads"`` fans them out over a shared thread pool (one worker
+            per shard by default).  Results, counters and accesses are
+            identical either way.
+        max_workers: Thread-pool size for ``executor="threads"``; defaults to
+            the shard count.  Ignored by the serial executor.
 
     Example:
         >>> graph = ShardedCuckooGraph(num_shards=4)
@@ -96,11 +120,20 @@ class ShardedCuckooGraph(DynamicGraphStore):
         config: Optional[CuckooGraphConfig] = None,
         weighted: bool = False,
         shard_factory: Optional[Callable[[CuckooGraphConfig], CuckooGraph]] = None,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
     ):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.config = config if config is not None else PAPER_CONFIG
         self.num_shards = num_shards
+        self.executor = executor
+        self._max_workers = max_workers if max_workers is not None else num_shards
+        self._pool: Optional[ThreadPoolExecutor] = None
         if shard_factory is None:
             shard_factory = WeightedCuckooGraph if weighted else CuckooGraph
         self.shards: list[CuckooGraph] = [
@@ -110,6 +143,61 @@ class ShardedCuckooGraph(DynamicGraphStore):
         # Weightedness is a property of what the factory actually built (a
         # custom factory takes precedence over the ``weighted`` argument).
         self.weighted = isinstance(self.shards[0], WeightedGraphStore)
+
+    # ------------------------------------------------------------------ #
+    # Executor
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The shared thread pool, created on first threaded batch."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="cuckoo-shard"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the thread pool down (no-op for the serial executor).
+
+        The store stays usable afterwards; the next threaded batch lazily
+        recreates the pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedCuckooGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_per_shard(
+        self, groups: dict[int, list], worker: Callable[[int, list], _T]
+    ) -> list[tuple[int, _T]]:
+        """Run ``worker(shard_index, payloads)`` for every group.
+
+        Returns ``(shard index, worker result)`` pairs in the groups'
+        first-seen order -- the same order the serial loop produces -- so
+        every caller merges deterministically regardless of executor.  Each
+        group touches only its own shard, which is what makes the threaded
+        fan-out safe without locks.
+
+        Exception caveat: if a worker raises, the serial path stops before
+        later groups run, while the threaded path has already submitted every
+        group and lets them finish before re-raising the first failure --
+        post-exception shard state is therefore executor-dependent.  The
+        stock shard operations never raise on well-formed edges, so this only
+        matters for custom ``shard_factory`` stores with failing updates.
+        """
+        if self.executor == "threads" and len(groups) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                (index, pool.submit(worker, index, group))
+                for index, group in groups.items()
+            ]
+            return [(index, future.result()) for index, future in futures]
+        return [(index, worker(index, group)) for index, group in groups.items()]
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -195,56 +283,80 @@ class ShardedCuckooGraph(DynamicGraphStore):
 
     def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
         """Insert a batch of edges grouped per shard; return how many were new."""
-        inserted = 0
         shards = self.shards
-        for index, group in self._partition((edge[0], edge) for edge in edges).items():
+
+        def worker(index: int, group: list) -> int:
             insert = shards[index].insert_edge
+            inserted = 0
             for u, v in group:
                 if insert(u, v):
                     inserted += 1
-        return inserted
+            return inserted
+
+        groups = self._partition((edge[0], edge) for edge in edges)
+        return sum(count for _, count in self._run_per_shard(groups, worker))
 
     def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
         """Delete a batch of edges grouped per shard; return how many were present."""
-        deleted = 0
         shards = self.shards
-        for index, group in self._partition((edge[0], edge) for edge in edges).items():
+
+        def worker(index: int, group: list) -> int:
             delete = shards[index].delete_edge
+            deleted = 0
             for u, v in group:
                 if delete(u, v):
                     deleted += 1
-        return deleted
+            return deleted
+
+        groups = self._partition((edge[0], edge) for edge in edges)
+        return sum(count for _, count in self._run_per_shard(groups, worker))
 
     def has_edges(self, edges: Iterable[tuple[int, int]]) -> list[bool]:
         """Membership of a batch of edges, in input order.
 
         The batch is routed per shard, each group is answered with the
-        shard's bound ``has_edge``, and the answers are scattered back to the
-        positions the caller supplied.
+        shard's bound ``has_edge`` (concurrently under the threaded
+        executor), and the answers are scattered back to the positions the
+        caller supplied.
         """
         edges = list(edges)
+        shards = self.shards
+
+        def worker(index: int, positions: list) -> list[bool]:
+            query = shards[index].has_edge
+            return [query(*edges[position]) for position in positions]
+
         groups = self._partition(
             (edge[0], position) for position, edge in enumerate(edges)
         )
         answers: list[bool] = [False] * len(edges)
-        shards = self.shards
-        for index, positions in groups.items():
-            query = shards[index].has_edge
-            for position in positions:
-                u, v = edges[position]
-                answers[position] = query(u, v)
+        for index, group_answers in self._run_per_shard(groups, worker):
+            for position, answer in zip(groups[index], group_answers):
+                answers[position] = answer
         return answers
 
     def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
-        """Successor lists for a batch of distinct source nodes, per shard."""
-        groups = self._partition((u, u) for u in dict.fromkeys(nodes))
-        result: dict[int, list[int]] = {}
+        """Successor lists for a batch of distinct source nodes, per shard.
+
+        Honours the :class:`~repro.interfaces.DynamicGraphStore` batch
+        contract: keys are the distinct requested nodes in first-occurrence
+        order of the input (the per-shard answers are re-keyed back to that
+        order), unknown nodes map to empty lists, and each list equals what
+        ``successors`` would return.
+        """
         shards = self.shards
-        for index, group in groups.items():
+
+        def worker(index: int, group: list) -> list[list[int]]:
             successors = shards[index].successors
-            for u in group:
-                result[u] = successors(u)
-        return result
+            return [successors(u) for u in group]
+
+        ordered = list(dict.fromkeys(nodes))
+        groups = self._partition((u, u) for u in ordered)
+        gathered: dict[int, list[int]] = {}
+        for index, group_lists in self._run_per_shard(groups, worker):
+            for u, succ in zip(groups[index], group_lists):
+                gathered[u] = succ
+        return {u: gathered[u] for u in ordered}
 
     # ------------------------------------------------------------------ #
     # Weighted pass-throughs (only valid with weighted shards)

@@ -22,6 +22,19 @@ class DynamicGraphStore(ABC):
     most once.  Implementations additionally expose a modelled memory
     footprint so the memory-usage experiments can compare layouts without
     relying on interpreter-level measurements.
+
+    **Batch contract.**  Alongside the per-edge operations, every store
+    answers batched forms (``insert_edges`` / ``delete_edges`` /
+    ``has_edges`` / ``successors_many``) with loop-based defaults, and
+    batch-capable callers -- the analytics traversal engine, the benchmark
+    harness, the sharded front-end -- are written exclusively against them.
+    ``successors_many`` is the load-bearing member of that family: frontier
+    expansion for every analytics kernel goes through it, so overriding it is
+    how a store (or a front-end such as
+    :class:`~repro.core.sharded.ShardedCuckooGraph`, which groups the batch
+    per shard and can fan the groups out across an executor) accelerates the
+    whole analytics layer at once.  Overrides must preserve the default's
+    observable semantics, spelled out in :meth:`successors_many`.
     """
 
     #: Human-readable scheme name used in benchmark reports.
@@ -145,11 +158,21 @@ class DynamicGraphStore(ABC):
     def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
         """Successor lists for a batch of source nodes.
 
-        The result maps each *distinct* requested node to its successor list
-        (empty for unknown nodes), so callers can fan a frontier out in one
-        call instead of one ``successors`` round-trip per node.
+        Contract (binding on every override):
+
+        * the result maps each *distinct* requested node to its successor
+          list, keyed in first-occurrence order of the input;
+        * unknown nodes map to an empty list, never a missing key;
+        * each list has exactly the contents and order ``successors`` would
+          return for that node at the same point in time.
+
+        Callers fan a whole frontier out in one call instead of one
+        ``successors`` round-trip per node; the analytics engine
+        (:class:`repro.analytics.engine.TraversalEngine`) relies on these
+        guarantees to keep kernel outputs identical to per-node traversal.
         """
-        return {u: self.successors(u) for u in dict.fromkeys(nodes)}
+        successors = self.successors
+        return {u: successors(u) for u in dict.fromkeys(nodes)}
 
 
 class WeightedGraphStore(DynamicGraphStore):

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core import CuckooGraphConfig
 from repro.core.chain import TableChain
 from repro.core.counters import Counters

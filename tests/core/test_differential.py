@@ -13,6 +13,12 @@ batch, through three stores at once:
 After every batch the observable state of the three stores must be
 identical: per-operation results, edge sets, edge counts, successor lists
 and membership answers.
+
+The second half of the module differentially tests the sharded store's
+*executor*: the same randomized batches driven through
+``executor="serial"`` and ``executor="threads"`` must produce identical
+results, edge state, aggregated counters and modelled accesses -- the
+threaded fan-out may only change wall-clock, never observables.
 """
 
 import random
@@ -124,3 +130,62 @@ def test_hypothesis_batches_agree(batches, num_shards):
         assert sorted(sharded.edges()) == expected_edges
         assert sorted(cuckoo.edges()) == expected_edges
         assert sharded.num_edges == cuckoo.num_edges == len(expected_edges)
+
+
+# --------------------------------------------------------------------- #
+# Serial vs threaded executor
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [2, 13, 20250729])
+@pytest.mark.parametrize("num_shards", [2, 5])
+def test_threaded_executor_matches_serial(seed, num_shards):
+    """Randomized batches: the executor choice must be observably invisible."""
+    rng = random.Random(seed)
+    serial = ShardedCuckooGraph(num_shards=num_shards, executor="serial")
+    with ShardedCuckooGraph(num_shards=num_shards, executor="threads") as threaded:
+        for _ in range(10):
+            batch = random_batch(rng, rng.randrange(10, 150))
+            inserts = [(u, v) for action, u, v in batch if action == "insert"]
+            deletes = [(u, v) for action, u, v in batch if action == "delete"]
+            queries = [(u, v) for action, u, v in batch if action == "query"]
+
+            assert serial.insert_edges(inserts) == threaded.insert_edges(inserts)
+            assert serial.delete_edges(deletes) == threaded.delete_edges(deletes)
+            assert serial.has_edges(queries) == threaded.has_edges(queries)
+
+            frontier = [rng.randrange(NODE_RANGE) for _ in range(25)]
+            serial_fanout = serial.successors_many(frontier)
+            threaded_fanout = threaded.successors_many(frontier)
+            assert serial_fanout == threaded_fanout
+            # Same key order, not just the same mapping (batch contract).
+            assert list(serial_fanout) == list(threaded_fanout)
+
+            assert sorted(serial.edges()) == sorted(threaded.edges())
+            assert serial.num_edges == threaded.num_edges
+            assert serial.accesses == threaded.accesses
+            assert serial.counters.snapshot() == threaded.counters.snapshot()
+            assert [shard.counters.snapshot() for shard in serial.shards] == \
+                   [shard.counters.snapshot() for shard in threaded.shards]
+
+
+def test_threaded_executor_agrees_with_oracle():
+    """Threads vs the trivially correct oracle, end to end."""
+    rng = random.Random(99)
+    threaded = ShardedCuckooGraph(num_shards=4, executor="threads")
+    oracle = AdjacencyListGraph()
+    for _ in range(8):
+        batch = random_batch(rng, rng.randrange(20, 120))
+        inserts = [(u, v) for action, u, v in batch if action == "insert"]
+        deletes = [(u, v) for action, u, v in batch if action == "delete"]
+        queries = [(u, v) for action, u, v in batch if action == "query"]
+        assert threaded.insert_edges(inserts) == \
+            sum(oracle.insert_edge(u, v) for u, v in inserts)
+        assert threaded.delete_edges(deletes) == \
+            sum(oracle.delete_edge(u, v) for u, v in deletes)
+        assert threaded.has_edges(queries) == \
+            [oracle.has_edge(u, v) for u, v in queries]
+        fanned = threaded.successors_many(range(NODE_RANGE))
+        for u in range(NODE_RANGE):
+            assert sorted(fanned[u]) == sorted(oracle.successors(u))
+    threaded.close()

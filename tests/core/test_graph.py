@@ -1,7 +1,5 @@
 """Tests for the basic CuckooGraph public API."""
 
-import pytest
-
 from repro import CuckooGraph, CuckooGraphConfig
 
 

@@ -160,6 +160,67 @@ class TestAggregation:
         assert graph.num_source_nodes == len(reference(small_edge_set))
 
 
+class TestExecutor:
+    """The pluggable executor: validation, lifecycle and equivalence."""
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCuckooGraph(num_shards=2, executor="processes")
+
+    def test_serial_is_the_default_and_creates_no_pool(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4)
+        assert graph.executor == "serial"
+        graph.insert_edges(small_edge_set)
+        assert graph._pool is None
+
+    def test_pool_is_lazy_and_closeable(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor="threads")
+        assert graph._pool is None
+        graph.insert_edges(small_edge_set)
+        assert graph._pool is not None
+        graph.close()
+        assert graph._pool is None
+        # Usable again after close: the pool is lazily recreated.
+        assert graph.has_edges(small_edge_set[:10]) == [True] * 10
+        graph.close()
+
+    def test_context_manager_closes_pool(self, small_edge_set):
+        with ShardedCuckooGraph(num_shards=4, executor="threads") as graph:
+            graph.insert_edges(small_edge_set)
+            assert graph._pool is not None
+        assert graph._pool is None
+
+    def test_threaded_batches_match_serial(self, small_edge_set, reference):
+        serial = ShardedCuckooGraph(num_shards=4)
+        with ShardedCuckooGraph(num_shards=4, executor="threads") as threaded:
+            assert threaded.insert_edges(small_edge_set) == \
+                serial.insert_edges(small_edge_set)
+            assert threaded.has_edges(small_edge_set) == serial.has_edges(small_edge_set)
+            adjacency = reference(small_edge_set)
+            fanned = threaded.successors_many(list(adjacency))
+            assert fanned == serial.successors_many(list(adjacency))
+            assert threaded.delete_edges(small_edge_set[:300]) == \
+                serial.delete_edges(small_edge_set[:300]) == 300
+            assert sorted(threaded.edges()) == sorted(serial.edges())
+
+    def test_threaded_counters_and_accesses_match_serial(self, small_edge_set):
+        serial = ShardedCuckooGraph(num_shards=4)
+        with ShardedCuckooGraph(num_shards=4, executor="threads") as threaded:
+            serial.insert_edges(small_edge_set)
+            threaded.insert_edges(small_edge_set)
+            serial.has_edges(small_edge_set)
+            threaded.has_edges(small_edge_set)
+            assert threaded.counters.snapshot() == serial.counters.snapshot()
+            assert threaded.accesses == serial.accesses
+            assert threaded.num_edges == serial.num_edges
+
+    def test_max_workers_override(self, small_edge_set):
+        with ShardedCuckooGraph(num_shards=8, executor="threads",
+                                max_workers=2) as graph:
+            assert graph.insert_edges(small_edge_set) == len(small_edge_set)
+            assert graph._pool._max_workers == 2
+
+
 class TestWeightedSharding:
     def test_weighted_shards_count_duplicates(self):
         graph = ShardedCuckooGraph(num_shards=4, weighted=True)

@@ -1,7 +1,5 @@
 """Tests for the memory-layout constants and the operation cost model."""
 
-import pytest
-
 from repro import CuckooGraph
 from repro.memmodel import (
     CuckooLayout,
