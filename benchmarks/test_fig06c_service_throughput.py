@@ -1,0 +1,124 @@
+"""Figure 6c (extension): service-layer throughput and latency under traffic.
+
+Not a figure from the paper: this benchmark drives the request-queue front
+door (:class:`~repro.service.GraphService` over a 4-shard
+``ShardedCuckooGraph``) with N concurrent client threads submitting
+single-edge operations, the exact traffic shape the ROADMAP's "heavy
+traffic" north star describes.  Clients pipeline their submissions
+(submit-then-collect), so the dispatcher coalesces the stream into
+micro-batches; the interesting outputs are
+
+* wall-clock operation throughput through the full front-door path,
+* request latency percentiles (p50/p95/p99) from the service's own metrics,
+* how well the micro-batcher coalesced (mean/max batch size, store batch
+  calls versus requests), and
+* that the final store state is exactly the submitted edge set at every
+  client count -- concurrency must never change observable results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench import format_table
+from repro.core import ShardedCuckooGraph
+from repro.service import GraphService
+
+from .conftest import bench_stream, benchmark_callable, write_report
+
+CLIENT_COUNTS = (1, 2, 4)
+
+#: Per-run service tuning: large windows, latency-first delay, roomy queue.
+SERVICE_KWARGS = dict(max_batch=512, max_delay_s=0.0, queue_capacity=4096)
+
+
+def _run_traffic(service: GraphService, edges, clients: int, op: str) -> float:
+    """Fan ``edges`` out over ``clients`` pipelining threads; return seconds."""
+    submit = service.insert_edge if op == "insert" else service.has_edge
+    parts = [edges[index::clients] for index in range(clients)]
+    outcomes: list[list] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(part, sink):
+        futures = [submit(u, v) for u, v in part]
+        sink.extend(future.result() for future in futures)
+
+    threads = [
+        threading.Thread(target=lambda i=i: (barrier.wait(), worker(parts[i], outcomes[i])))
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+
+    flat = [answer for sink in outcomes for answer in sink]
+    assert len(flat) == len(edges), "every request future must resolve"
+    if op == "insert":
+        # Disjoint round-robin parts over distinct edges: each edge is newly
+        # inserted exactly once, whichever client carried it.
+        assert sum(flat) == len(edges)
+    else:
+        assert all(flat)
+    return seconds
+
+
+def test_fig06c_service_throughput(benchmark):
+    """Front-door insert/query throughput and latency at 1/2/4 clients."""
+    stream = bench_stream("CAIDA")
+    edges = list(stream.deduplicated())
+    rows = []
+    for clients in CLIENT_COUNTS:
+        store = ShardedCuckooGraph(num_shards=4)
+        with GraphService(store, **SERVICE_KWARGS) as service:
+            insert_seconds = _run_traffic(service, edges, clients, "insert")
+            assert service.store.num_edges == len(edges)
+            query_seconds = _run_traffic(service, edges, clients, "query")
+            summary = service.metrics_summary()
+        latency = summary["latency"]
+        # No request may be dropped: everything submitted was resolved.
+        assert summary["resolved"] == summary["submitted_total"] == 2 * len(edges)
+        assert summary["failed"] == summary["rejected"] == 0
+        rows.append({
+            "clients": clients,
+            "operations": 2 * len(edges),
+            "insert_kops": round(len(edges) / insert_seconds / 1e3, 2),
+            "query_kops": round(len(edges) / query_seconds / 1e3, 2),
+            "p50_us": round(latency["p50_s"] * 1e6, 1),
+            "p95_us": round(latency["p95_s"] * 1e6, 1),
+            "p99_us": round(latency["p99_s"] * 1e6, 1),
+            "batches": summary["batches"],
+            "mean_batch": round(summary["mean_batch_size"], 2),
+            "max_batch": summary["max_batch_size"],
+            "store_calls": summary["store_batch_calls"],
+        })
+
+    # Pipelined submission must actually coalesce: far fewer dispatch
+    # windows than requests, at every client count.
+    for row in rows:
+        assert row["batches"] < row["operations"]
+        assert row["mean_batch"] >= 1.0
+
+    write_report(
+        "fig06c_service_throughput",
+        format_table(
+            rows,
+            columns=["clients", "operations", "insert_kops", "query_kops",
+                     "p50_us", "p95_us", "p99_us", "batches", "mean_batch",
+                     "max_batch", "store_calls"],
+            title="GraphService front door: throughput, latency percentiles and "
+                  "batch coalescing vs client count (CAIDA stand-in)",
+        ),
+    )
+
+    def service_insert_all():
+        with GraphService(ShardedCuckooGraph(num_shards=4),
+                          **SERVICE_KWARGS) as service:
+            futures = [service.insert_edge(u, v) for u, v in edges]
+            return sum(future.result() for future in futures)
+
+    assert benchmark_callable(benchmark, service_insert_all) == len(edges)

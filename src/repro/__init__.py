@@ -26,6 +26,7 @@ from .core import (
     WeightedCuckooGraph,
 )
 from .interfaces import DynamicGraphStore, WeightedGraphStore
+from .service import GraphClient, GraphService
 
 __version__ = "1.0.0"
 
@@ -33,6 +34,8 @@ __all__ = [
     "CuckooGraph",
     "CuckooGraphConfig",
     "DynamicGraphStore",
+    "GraphClient",
+    "GraphService",
     "MultiEdgeCuckooGraph",
     "PAPER_CONFIG",
     "ShardedCuckooGraph",

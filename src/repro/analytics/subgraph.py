@@ -91,14 +91,14 @@ def extract_subgraph(
     Args:
         store: The source graph.
         nodes: Nodes whose induced subgraph is wanted.
-        store_class: Class of the store to build; defaults to the class of
-            ``store`` so each scheme is benchmarked against itself, exactly as
-            the paper's methodology prescribes ("insert the subgraphs into
-            each scheme").
+        store_class: Class of the store to build; defaults to
+            ``store.spawn_empty()`` so each scheme is benchmarked against
+            itself (with its own construction parameters), exactly as the
+            paper's methodology prescribes ("insert the subgraphs into each
+            scheme").
         engine: Optional shared traversal engine (batch accounting).
     """
-    target_class = store_class if store_class is not None else type(store)
-    subgraph = target_class()
+    subgraph = store_class() if store_class is not None else store.spawn_empty()
     subgraph.insert_edges(induced_edges(store, nodes, engine=engine))
     return subgraph
 

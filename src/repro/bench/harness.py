@@ -31,6 +31,7 @@ from ..baselines import COMPETITORS
 from ..core import CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph, WeightedCuckooGraph
 from ..datasets import EdgeStream, load_dataset
 from ..interfaces import DynamicGraphStore
+from ..service import GraphClient
 
 #: Name the paper uses for CuckooGraph in every figure legend.
 OURS = "Ours"
@@ -39,14 +40,20 @@ OURS = "Ours"
 #: scheme from the paper); four shards is the default deployment unit.
 SHARDED = "Ours-Sharded"
 
+#: The request-queue service layer over the sharded front-end: every
+#: operation travels through the GraphService micro-batcher, so this scheme
+#: measures the full front-door path (queue + coalescing + batch dispatch),
+#: not the bare structure.
+SERVICE = "Ours-Service"
+
 #: Default shard count used when the sharded scheme is built by name.
 DEFAULT_SHARDS = 4
 
-#: Schemes that *are* CuckooGraph (single-instance or sharded).  The
+#: Schemes that *are* CuckooGraph (single-instance, sharded or served).  The
 #: "CuckooGraph beats each competitor" shape checks iterate the complement
 #: of this set, so registering another of our own variants never turns it
 #: into a competitor.
-OURS_FAMILY = frozenset({OURS, SHARDED})
+OURS_FAMILY = frozenset({OURS, SHARDED, SERVICE})
 
 #: Scheme name -> store factory, in the order the figures list them.
 #: WBI's bucket matrix is sized so that its edges-per-bucket load on the
@@ -59,6 +66,7 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
     "Sortledton": COMPETITORS["Sortledton"],
     OURS: CuckooGraph,
     SHARDED: lambda: ShardedCuckooGraph(num_shards=DEFAULT_SHARDS),
+    SERVICE: lambda: GraphClient.local(num_shards=DEFAULT_SHARDS),
     "WBI": lambda: COMPETITORS["WBI"](matrix_size=16),
 }
 
@@ -76,6 +84,8 @@ def build_store(scheme: str, config: Optional[CuckooGraphConfig] = None) -> Dyna
             return CuckooGraph(config)
         if scheme == SHARDED:
             return ShardedCuckooGraph(num_shards=DEFAULT_SHARDS, config=config)
+        if scheme == SERVICE:
+            return GraphClient.local(num_shards=DEFAULT_SHARDS, config=config)
     return SCHEMES[scheme]()
 
 
@@ -224,6 +234,18 @@ def _accesses_of(store: DynamicGraphStore) -> int:
     return getattr(store, "accesses", 0)
 
 
+def _dispose(store: DynamicGraphStore) -> None:
+    """Release a store built for one benchmark cell.
+
+    The sharded front-end and the service client hold executor threads; a
+    full figure run builds dozens of stores, so each driver closes what it
+    created instead of leaking dispatchers until interpreter exit.
+    """
+    close = getattr(store, "close", None)
+    if callable(close):
+        close()
+
+
 def run_insertion(store: DynamicGraphStore, stream: Sequence[tuple[int, int]],
                   scheme: str, dataset: str) -> ThroughputResult:
     """Insert every stream arrival and report the average insertion throughput."""
@@ -273,6 +295,7 @@ def run_basic_tasks(
     distinct = stream.deduplicated()
     query = run_query(store, distinct.edges, scheme, dataset)
     deletion = run_deletion(store, distinct.edges, scheme, dataset)
+    _dispose(store)
     return {"insert": insertion, "query": query, "delete": deletion}
 
 
@@ -297,6 +320,7 @@ def run_memory_curve(
         store.insert_edge(u, v)
         if index % sample_every == 0 or index == len(distinct):
             points.append(MemoryPoint(scheme, dataset, index, store.memory_bytes()))
+    _dispose(store)
     return points
 
 
@@ -338,8 +362,10 @@ def run_bfs_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     visited_total = sum(len(bfs(store, root, engine=engine)) for root in roots)
     seconds = (time.perf_counter() - start) / max(1, len(roots))
-    return _engine_result(scheme, dataset, "BFS", seconds, f"visited={visited_total}",
-                          engine, accesses_before)
+    result = _engine_result(scheme, dataset, "BFS", seconds, f"visited={visited_total}",
+                            engine, accesses_before)
+    _dispose(store)
+    return result
 
 
 def run_sssp_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -355,8 +381,11 @@ def run_sssp_task(scheme: str, dataset: str, stream: EdgeStream,
     for source in sources:
         reached += len(dijkstra(subgraph, source, engine=engine))
     seconds = (time.perf_counter() - start) / max(1, len(sources))
-    return _engine_result(scheme, dataset, "SSSP", seconds, f"reached={reached}",
-                          engine, accesses_before)
+    result = _engine_result(scheme, dataset, "SSSP", seconds, f"reached={reached}",
+                            engine, accesses_before)
+    _dispose(subgraph)
+    _dispose(store)
+    return result
 
 
 def run_triangle_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -369,8 +398,10 @@ def run_triangle_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     triangles = sum(count_triangles_of_node(store, node, engine=engine) for node in nodes)
     seconds = time.perf_counter() - start
-    return _engine_result(scheme, dataset, "TC", seconds, f"triangles={triangles}",
-                          engine, accesses_before)
+    result = _engine_result(scheme, dataset, "TC", seconds, f"triangles={triangles}",
+                            engine, accesses_before)
+    _dispose(store)
+    return result
 
 
 def run_cc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -383,8 +414,11 @@ def run_cc_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     components = strongly_connected_components(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return _engine_result(scheme, dataset, "CC", seconds,
-                          f"components={len(components)}", engine, accesses_before)
+    result = _engine_result(scheme, dataset, "CC", seconds,
+                            f"components={len(components)}", engine, accesses_before)
+    _dispose(subgraph)
+    _dispose(store)
+    return result
 
 
 def run_pagerank_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -397,8 +431,11 @@ def run_pagerank_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     scores = pagerank(subgraph, iterations=iterations, engine=engine)
     seconds = time.perf_counter() - start
-    return _engine_result(scheme, dataset, "PR", seconds, f"nodes={len(scores)}",
-                          engine, accesses_before)
+    result = _engine_result(scheme, dataset, "PR", seconds, f"nodes={len(scores)}",
+                            engine, accesses_before)
+    _dispose(subgraph)
+    _dispose(store)
+    return result
 
 
 def run_bc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -411,8 +448,11 @@ def run_bc_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     scores = betweenness_centrality(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return _engine_result(scheme, dataset, "BC", seconds, f"nodes={len(scores)}",
-                          engine, accesses_before)
+    result = _engine_result(scheme, dataset, "BC", seconds, f"nodes={len(scores)}",
+                            engine, accesses_before)
+    _dispose(subgraph)
+    _dispose(store)
+    return result
 
 
 def run_lcc_task(scheme: str, dataset: str, stream: EdgeStream,
@@ -425,8 +465,11 @@ def run_lcc_task(scheme: str, dataset: str, stream: EdgeStream,
     start = time.perf_counter()
     coefficients = all_local_clustering_coefficients(subgraph, engine=engine)
     seconds = time.perf_counter() - start
-    return _engine_result(scheme, dataset, "LCC", seconds,
-                          f"nodes={len(coefficients)}", engine, accesses_before)
+    result = _engine_result(scheme, dataset, "LCC", seconds,
+                            f"nodes={len(coefficients)}", engine, accesses_before)
+    _dispose(subgraph)
+    _dispose(store)
+    return result
 
 
 #: Task name -> driver, used by the analytics benchmarks and examples.

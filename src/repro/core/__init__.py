@@ -28,6 +28,7 @@ from .errors import (
     CuckooGraphError,
     IntegrationError,
     NotFoundError,
+    StoreClosedError,
 )
 from .graph import CuckooGraph
 from .hashing import BobHash, HashFamily, ModularHash, MultiplyShiftHash
@@ -56,6 +57,7 @@ __all__ = [
     "PAPER_CONFIG",
     "ShardedCuckooGraph",
     "SmallDenylist",
+    "StoreClosedError",
     "TableChain",
     "WeightedCuckooGraph",
     "shard_index",

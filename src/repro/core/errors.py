@@ -31,5 +31,15 @@ class NotFoundError(CuckooGraphError):
     """Raised when an operation references a node or edge that does not exist."""
 
 
+class StoreClosedError(CuckooGraphError):
+    """Raised when a batch operation is issued against a closed store.
+
+    :meth:`repro.core.sharded.ShardedCuckooGraph.close` releases the
+    executor resources for good; the batch paths (which are the ones that
+    would lazily re-create a thread pool) refuse to run afterwards instead
+    of silently resurrecting it.  ``close`` itself is idempotent.
+    """
+
+
 class IntegrationError(CuckooGraphError):
     """Raised by the database integrations (mini-Redis / mini-Neo4j)."""

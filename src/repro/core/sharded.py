@@ -56,7 +56,7 @@ from typing import Callable, Iterable, Iterator, Optional, TypeVar
 from ..interfaces import DynamicGraphStore, WeightedGraphStore
 from .config import CuckooGraphConfig, PAPER_CONFIG
 from .counters import Counters
-from .errors import ConfigurationError
+from .errors import ConfigurationError, StoreClosedError
 from .graph import CuckooGraph
 from .weighted import WeightedCuckooGraph
 
@@ -134,6 +134,7 @@ class ShardedCuckooGraph(DynamicGraphStore):
         self.executor = executor
         self._max_workers = max_workers if max_workers is not None else num_shards
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
         if shard_factory is None:
             shard_factory = WeightedCuckooGraph if weighted else CuckooGraph
         self.shards: list[CuckooGraph] = [
@@ -150,18 +151,31 @@ class ShardedCuckooGraph(DynamicGraphStore):
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         """The shared thread pool, created on first threaded batch."""
+        if self._closed:
+            raise StoreClosedError(f"{self.name} is closed")
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._max_workers, thread_name_prefix="cuckoo-shard"
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the thread pool down (no-op for the serial executor).
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
-        The store stays usable afterwards; the next threaded batch lazily
-        recreates the pool.
+    def close(self) -> None:
+        """Release the executor for good.  Idempotent.
+
+        After ``close`` the batch operations raise :class:`StoreClosedError`
+        instead of lazily resurrecting the thread pool (double-``close`` and
+        close-then-batch used to race exactly there); the single-operation
+        read/write paths never involve the executor and keep working, so
+        callers can still inspect a closed store.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -190,6 +204,10 @@ class ShardedCuckooGraph(DynamicGraphStore):
         stock shard operations never raise on well-formed edges, so this only
         matters for custom ``shard_factory`` stores with failing updates.
         """
+        if self._closed:
+            raise StoreClosedError(
+                f"{self.name} is closed; batch operations are no longer accepted"
+            )
         if self.executor == "threads" and len(groups) > 1:
             pool = self._ensure_pool()
             futures = [
@@ -202,6 +220,20 @@ class ShardedCuckooGraph(DynamicGraphStore):
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
+
+    def spawn_empty(self) -> "ShardedCuckooGraph":
+        """Fresh empty front-end with the same shard count, config and executor.
+
+        A custom ``shard_factory`` is not propagated (it may close over
+        state); the ``weighted`` flag carries the common case.
+        """
+        return ShardedCuckooGraph(
+            num_shards=self.num_shards,
+            config=self.config,
+            weighted=self.weighted,
+            executor=self.executor,
+            max_workers=self._max_workers,
+        )
 
     def shard_of(self, u: int) -> int:
         """Shard index owning source node ``u`` (stable for the graph's lifetime)."""

@@ -123,6 +123,17 @@ class DynamicGraphStore(ABC):
         """Number of distinct nodes incident to stored edges."""
         return sum(1 for _ in self.nodes())
 
+    def spawn_empty(self) -> "DynamicGraphStore":
+        """A fresh empty store of the same scheme.
+
+        Subgraph extraction (the paper's "insert the subgraphs into each
+        scheme" step) builds its target with this hook, so stores whose
+        constructors take arguments -- the sharded front-end, the service
+        client -- can reproduce their own configuration instead of relying
+        on a zero-argument ``type(self)()``.
+        """
+        return type(self)()
+
     # ------------------------------------------------------------------ #
     # Batch operations shared by examples, benchmarks and front-ends
     # ------------------------------------------------------------------ #

@@ -1,0 +1,45 @@
+"""Request-queue service layer: micro-batched traffic over a graph store.
+
+The "serves heavy traffic" layer of the reproduction.  Client threads submit
+single operations to a :class:`GraphService`; the service coalesces them
+into micro-batches (size window ``max_batch``, time window ``max_delay_s``),
+dispatches each batch through the store's batch APIs / the analytics
+traversal engine, and routes per-request results and exceptions back through
+futures.  :class:`GraphClient` is the synchronous facade that makes the
+whole thing look like a plain :class:`~repro.interfaces.DynamicGraphStore`.
+
+Quickstart::
+
+    from repro.service import GraphClient
+
+    client = GraphClient.local(num_shards=4)
+    client.insert_edges([(1, 2), (1, 3)])
+    assert client.has_edge(1, 2)
+    print(client.service.metrics_summary()["latency"])
+    client.close()
+"""
+
+from .batcher import KINDS, Request, gather_window, split_runs
+from .client import GraphClient
+from .errors import QueueFullError, ServiceClosedError, ServiceError
+from .metrics import LatencyRecorder, ServiceMetrics, percentile
+from .queue import POLICIES, BoundedRequestQueue
+from .service import ANALYTICS_HANDLERS, GraphService
+
+__all__ = [
+    "ANALYTICS_HANDLERS",
+    "BoundedRequestQueue",
+    "GraphClient",
+    "GraphService",
+    "KINDS",
+    "LatencyRecorder",
+    "POLICIES",
+    "QueueFullError",
+    "Request",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceMetrics",
+    "gather_window",
+    "percentile",
+    "split_runs",
+]

@@ -1,0 +1,93 @@
+"""Micro-batching: turn a FIFO request stream into store-sized batch calls.
+
+Two pieces, both order-preserving:
+
+* :func:`gather_window` pulls one *window* of requests off the queue --
+  blocking for the first request, then filling up to ``max_batch`` items,
+  waiting at most ``max_delay_s`` for stragglers.  ``max_delay_s=0`` is the
+  latency-first mode: the window closes as soon as the queue momentarily
+  runs dry, so a lone synchronous client never pays an artificial delay,
+  while concurrent clients still coalesce naturally (requests that arrive
+  while a batch is executing pile up for the next window).
+* :func:`split_runs` cuts a window into maximal runs of consecutive
+  same-kind requests.  Each run becomes exactly one store batch call
+  (``insert_edges`` / ``delete_edges`` / ``has_edges`` / ``successors_many``),
+  and because runs never reorder requests, the dispatch is a faithful
+  serialization of the submission order -- an insert followed by a delete of
+  the same edge always lands in that order, which is what lets a
+  single-threaded client (and the differential fuzzer) reason about results
+  against a sequential oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+from typing import Iterator, List, Tuple
+
+from .queue import BoundedRequestQueue
+
+#: Request kinds understood by the dispatcher, in no particular order.
+KINDS = ("insert", "delete", "has", "successors", "analytics")
+
+#: How long the dispatcher blocks waiting for a first request before
+#: re-checking for shutdown (seconds).  Purely an idle-loop heartbeat; it
+#: never delays a request.
+IDLE_POLL_S = 0.05
+
+
+@dataclass
+class Request:
+    """One client operation in flight through the service."""
+
+    kind: str
+    payload: object
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+def gather_window(
+    queue: BoundedRequestQueue, max_batch: int, max_delay_s: float
+) -> List[Request]:
+    """Collect the next dispatch window (empty list on an idle poll).
+
+    The first request is awaited for at most :data:`IDLE_POLL_S`; once one
+    arrives, the window keeps filling until ``max_batch`` requests are in
+    hand, the queue stays empty past the ``max_delay_s`` deadline, or --
+    with ``max_delay_s=0`` -- the queue momentarily runs dry.
+    """
+    first = queue.get(timeout=IDLE_POLL_S)
+    if first is None:
+        return []
+    window = [first]
+    deadline = (
+        first.enqueued_at + max_delay_s if max_delay_s > 0 else None
+    )
+    while len(window) < max_batch:
+        request = queue.get_nowait()
+        if request is not None:
+            window.append(request)
+            continue
+        if deadline is None:
+            break
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            break
+        request = queue.get(timeout=remaining)
+        if request is None:
+            break  # deadline hit, or the queue closed while waiting
+        window.append(request)
+    return window
+
+
+def split_runs(window: List[Request]) -> Iterator[Tuple[str, List[Request]]]:
+    """Yield ``(kind, requests)`` for maximal same-kind runs, in order."""
+    run: List[Request] = []
+    for request in window:
+        if run and request.kind != run[0].kind:
+            yield run[0].kind, run
+            run = []
+        run.append(request)
+    if run:
+        yield run[0].kind, run

@@ -1,0 +1,184 @@
+"""Synchronous client facade over a :class:`GraphService`.
+
+:class:`GraphClient` speaks the full
+:class:`~repro.interfaces.DynamicGraphStore` contract, so anything written
+against the store interface -- the benchmark harness, the analytics engine,
+an example script -- can be pointed at a *service* instead of a raw
+structure without changing a line.  Single-edge calls block on their future;
+the batch overrides pipeline (submit every request first, then collect), so
+even a single client thread hands the dispatcher whole windows to coalesce.
+
+Introspection (``edges``, ``num_edges``, ``memory_bytes``, ``accesses``,
+``counters``) reads the underlying store directly.  That is a deliberate
+trade: those are snapshot/diagnostic reads used by benchmarks and reports on
+a quiesced service; issuing them through the queue would serialize a full
+scan behind traffic.  Call them only when no conflicting writes are in
+flight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..core.config import CuckooGraphConfig
+from ..core.sharded import ShardedCuckooGraph
+from ..interfaces import DynamicGraphStore
+from .service import GraphService
+
+
+class GraphClient(DynamicGraphStore):
+    """Blocking :class:`DynamicGraphStore` view of a :class:`GraphService`.
+
+    Args:
+        service: The service to drive.  It is started if it is not running.
+        close_service: Close the service when the client is closed / exits
+            its context.  Defaults to ``False`` for a shared service.
+
+    Example:
+        >>> client = GraphClient.local(num_shards=2)
+        >>> client.insert_edge(1, 2)
+        True
+        >>> client.successors(1)
+        [2]
+        >>> client.close()
+    """
+
+    name = "GraphServiceClient"
+
+    def __init__(self, service: GraphService, *, close_service: bool = False):
+        self._service = service
+        self._close_service = close_service
+        if not service.running and not service.closed:
+            service.start()
+
+    @classmethod
+    def local(
+        cls,
+        num_shards: int = 4,
+        config: Optional[CuckooGraphConfig] = None,
+        executor: str = "serial",
+        **service_kwargs,
+    ) -> "GraphClient":
+        """Client over a fresh service owning a fresh ``ShardedCuckooGraph``."""
+        store = ShardedCuckooGraph(
+            num_shards=num_shards, config=config, executor=executor
+        )
+        service = GraphService(store, own_store=True, **service_kwargs)
+        return cls(service.start(), close_service=True)
+
+    @property
+    def service(self) -> GraphService:
+        return self._service
+
+    def close(self) -> None:
+        """Close the service too, if this client owns it.  Idempotent."""
+        if self._close_service:
+            self._service.close()
+
+    def __enter__(self) -> "GraphClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Single-operation paths: one request, block on its future
+    # ------------------------------------------------------------------ #
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        return self._service.insert_edge(u, v).result()
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        return self._service.delete_edge(u, v).result()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._service.has_edge(u, v).result()
+
+    def successors(self, u: int) -> list[int]:
+        return self._service.successors(u).result()
+
+    # ------------------------------------------------------------------ #
+    # Batch paths: pipeline futures so the dispatcher sees whole windows
+    # ------------------------------------------------------------------ #
+
+    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        futures = [self._service.insert_edge(u, v) for u, v in edges]
+        return sum(future.result() for future in futures)
+
+    def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        futures = [self._service.delete_edge(u, v) for u, v in edges]
+        return sum(future.result() for future in futures)
+
+    def has_edges(self, edges: Iterable[tuple[int, int]]) -> list[bool]:
+        futures = [self._service.has_edge(u, v) for u, v in edges]
+        return [future.result() for future in futures]
+
+    def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        ordered = list(dict.fromkeys(nodes))
+        futures = [self._service.successors(u) for u in ordered]
+        return {u: future.result() for u, future in zip(ordered, futures)}
+
+    # ------------------------------------------------------------------ #
+    # Analytics jobs (each runs store-side through a TraversalEngine)
+    # ------------------------------------------------------------------ #
+
+    def bfs(self, source: int, **kwargs) -> list[int]:
+        return self._service.analytics("bfs", source, **kwargs).result()
+
+    def sssp(self, source: int, **kwargs) -> dict[int, float]:
+        return self._service.analytics("sssp", source, **kwargs).result()
+
+    def pagerank(self, **kwargs) -> dict[int, float]:
+        return self._service.analytics("pagerank", **kwargs).result()
+
+    def components(self, **kwargs) -> list[list[int]]:
+        return self._service.analytics("components", **kwargs).result()
+
+    def top_degree_nodes(self, count: int, **kwargs) -> list[int]:
+        return self._service.analytics("top_degree_nodes", count, **kwargs).result()
+
+    # ------------------------------------------------------------------ #
+    # Quiesced introspection: direct store reads (see module docstring)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _store(self) -> DynamicGraphStore:
+        return self._service.store
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return self._store.edges()
+
+    def source_nodes(self) -> Iterator[int]:
+        return self._store.source_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._store.num_edges
+
+    def memory_bytes(self) -> int:
+        return self._store.memory_bytes()
+
+    @property
+    def accesses(self) -> int:
+        return getattr(self._store, "accesses", 0)
+
+    def reset_accesses(self) -> None:
+        self._store.reset_accesses()
+
+    @property
+    def counters(self):
+        return getattr(self._store, "counters", None)
+
+    def structure_summary(self) -> dict[str, object]:
+        summary = getattr(self._store, "structure_summary", None)
+        return summary() if callable(summary) else {"num_edges": self.num_edges}
+
+    def spawn_empty(self) -> DynamicGraphStore:
+        """Empty store of the *served* scheme, for subgraph extraction.
+
+        Extracting a subgraph should not spin up a nested service (that
+        would leak a dispatcher per extraction); analytics on an extracted
+        subgraph measure the underlying store, the service front door
+        having already carried the traffic that built it.
+        """
+        return self._store.spawn_empty()

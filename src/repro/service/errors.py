@@ -1,0 +1,23 @@
+"""Exception types raised by the request-queue service layer."""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class QueueFullError(ServiceError):
+    """Raised by ``policy="reject"`` submission when the request queue is full.
+
+    This is the service's backpressure signal: the client is expected to
+    retry later (or shed the request), not to treat it as a store failure.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is submitted to a closed service.
+
+    Also delivered to blocked submitters when the service closes underneath
+    them, so a ``policy="block"`` caller never hangs across shutdown.
+    """

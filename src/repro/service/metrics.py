@@ -1,0 +1,135 @@
+"""Per-request latency and batching metrics for the service layer.
+
+The paper's claim is throughput under interleaved traffic; a service front
+door additionally has to answer "at what latency?".  Every request carries
+its enqueue timestamp, the dispatcher records the resolve-time delta here,
+and :meth:`ServiceMetrics.summary` reduces the samples to the percentiles a
+deployment alarms on (p50/p95/p99), alongside how well the micro-batcher
+coalesced (batches dispatched, mean/max batch size) and how often
+backpressure rejected work.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty sequence).
+
+    ``fraction`` is in ``[0, 1]``; nearest-rank keeps the value an actually
+    observed latency, which is what tail-latency reporting wants.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyRecorder:
+    """Append-only latency sample sink with percentile summaries."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """``count`` plus mean/p50/p95/p99/max, all in seconds."""
+        samples = self._samples
+        if not samples:
+            return {"count": 0, "mean_s": 0.0, "p50_s": 0.0, "p95_s": 0.0,
+                    "p99_s": 0.0, "max_s": 0.0}
+        return {
+            "count": len(samples),
+            "mean_s": sum(samples) / len(samples),
+            "p50_s": percentile(samples, 0.50),
+            "p95_s": percentile(samples, 0.95),
+            "p99_s": percentile(samples, 0.99),
+            "max_s": max(samples),
+        }
+
+
+class ServiceMetrics:
+    """Counters a running :class:`~repro.service.service.GraphService` keeps.
+
+    Submission-side counters (``submitted``, ``rejected``) are bumped from
+    many client threads and take the lock; dispatch-side counters are only
+    touched by the single dispatcher thread but share the same lock so
+    :meth:`summary` reads one consistent snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.submitted: Dict[str, int] = {}
+        self.rejected = 0
+        self.resolved = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.store_batch_calls = 0
+        self._latency = LatencyRecorder()
+
+    # -- submission side ------------------------------------------------ #
+
+    def record_submit(self, kind: str) -> None:
+        with self._lock:
+            self.submitted[kind] = self.submitted.get(kind, 0) + 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    # -- dispatch side --------------------------------------------------- #
+
+    def record_batch(self, size: int, store_calls: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.max_batch_size = max(self.max_batch_size, size)
+            self.store_batch_calls += store_calls
+
+    def record_resolved(self, latency_s: float) -> None:
+        with self._lock:
+            self.resolved += 1
+            self._latency.record(latency_s)
+
+    def record_failed(self, latency_s: float) -> None:
+        with self._lock:
+            self.failed += 1
+            self._latency.record(latency_s)
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    # -- reporting ------------------------------------------------------- #
+
+    def summary(self) -> Dict[str, object]:
+        """One consistent snapshot of every counter plus latency percentiles."""
+        with self._lock:
+            mean_batch = (
+                self.batched_requests / self.batches if self.batches else 0.0
+            )
+            return {
+                "submitted": dict(self.submitted),
+                "submitted_total": sum(self.submitted.values()),
+                "rejected": self.rejected,
+                "resolved": self.resolved,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "batches": self.batches,
+                "mean_batch_size": mean_batch,
+                "max_batch_size": self.max_batch_size,
+                "store_batch_calls": self.store_batch_calls,
+                "latency": self._latency.summary(),
+            }

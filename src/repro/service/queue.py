@@ -1,0 +1,138 @@
+"""Bounded FIFO request queue with explicit backpressure and close semantics.
+
+``queue.Queue`` almost fits, but the service needs three behaviours it does
+not provide cleanly: an immediate *reject* mode for full queues (the
+backpressure policy a traffic-shedding front door wants), a ``close`` that
+wakes every blocked producer/consumer exactly once, and gets that keep
+draining items after close so in-flight requests are never dropped.  The
+implementation is a deque guarded by one condition variable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from threading import Condition
+from typing import Optional
+
+from .errors import QueueFullError, ServiceClosedError
+
+#: Backpressure policies accepted by :class:`BoundedRequestQueue`.
+POLICIES = ("block", "reject")
+
+
+class BoundedRequestQueue:
+    """FIFO queue of at most ``capacity`` items.
+
+    Args:
+        capacity: Maximum number of queued (not yet dispatched) items.
+        policy: What a producer experiences when the queue is full --
+            ``"block"`` waits for space (backpressure propagates to the
+            caller's thread), ``"reject"`` raises :class:`QueueFullError`
+            immediately (the caller sheds load).
+
+    Close semantics: after :meth:`close`, ``put`` raises
+    :class:`ServiceClosedError` (including producers already blocked on a
+    full queue), while ``get`` keeps returning queued items until the queue
+    is drained -- consumers discover termination via :attr:`closed` plus an
+    empty queue.
+    """
+
+    def __init__(self, capacity: int = 1024, policy: str = "block"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque = deque()
+        self._cond = Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drained(self) -> bool:
+        """Closed and empty: the consumer has nothing left to do."""
+        with self._cond:
+            return self._closed and not self._items
+
+    def put(self, item, timeout: Optional[float] = None) -> None:
+        """Enqueue ``item``, honouring the backpressure policy.
+
+        Raises:
+            QueueFullError: full queue under ``policy="reject"`` (or when a
+                ``policy="block"`` wait exceeds ``timeout``).
+            ServiceClosedError: the queue is (or becomes, while blocked)
+                closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("request queue is closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == "reject":
+                    raise QueueFullError(
+                        f"request queue full ({self.capacity} pending)"
+                    )
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while len(self._items) >= self.capacity:
+                    if self._closed:
+                        raise ServiceClosedError("request queue closed while blocked")
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise QueueFullError(
+                                f"request queue still full after {timeout}s"
+                            )
+                    self._cond.wait(remaining)
+                # Space freed, but the close may have landed while we
+                # waited; a blocked producer must never enqueue into a
+                # closed queue (its request would be stranded unresolved).
+                if self._closed:
+                    raise ServiceClosedError("request queue closed while blocked")
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue the oldest item; ``None`` on timeout or a drained close."""
+        with self._cond:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._cond.wait(remaining)
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
+    def get_nowait(self):
+        """Dequeue without blocking; ``None`` when nothing is queued."""
+        with self._cond:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
+    def close(self) -> list:
+        """Refuse new puts and wake all waiters; return a snapshot of leftovers.
+
+        The queued items stay gettable (the dispatcher drains them); the
+        returned snapshot lets a consumer that will *not* drain (a service
+        that was never started) fail the pending requests instead of
+        dropping them.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            return list(self._items)

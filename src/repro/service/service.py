@@ -1,0 +1,336 @@
+"""The request-queue front door over a batch-capable graph store.
+
+:class:`GraphService` is the "heavy traffic" layer of the reproduction: many
+client threads submit single operations (insert / delete / membership /
+successors, plus whole analytics jobs), the service coalesces them into
+micro-batches and drives each batch through the store's batch APIs --
+``insert_edges`` / ``delete_edges`` / ``has_edges`` / ``successors_many`` on
+a :class:`~repro.core.sharded.ShardedCuckooGraph` by default, and the
+:class:`~repro.analytics.engine.TraversalEngine` for analytics jobs.  Every
+request gets a :class:`concurrent.futures.Future` that carries its result or
+exception back, so clients never observe batching except as throughput.
+
+Design points:
+
+* **One dispatcher thread** owns the store.  Client threads only touch the
+  bounded queue, so the store itself needs no locking and the sharded
+  store's own executor (``executor="threads"``) remains free to fan a batch
+  out across shards.
+* **Order-preserving batching.**  A dispatch window is split into maximal
+  runs of consecutive same-kind requests (see
+  :mod:`repro.service.batcher`); each run is one store batch call, so the
+  executed schedule is exactly the submission order.  Per-request insert /
+  delete results are recovered from a batched pre-probe (``has_edges``)
+  plus in-window bookkeeping -- two batch calls per mutation run, zero
+  per-operation store calls.  (Result attribution assumes distinct-edge
+  store semantics; a weighted store still executes correctly but
+  "delete actually removed the edge" degenerates to "edge was present".)
+* **Backpressure.**  The queue is bounded; ``policy="block"`` makes
+  submitters wait (pushback), ``policy="reject"`` sheds load by raising
+  :class:`~repro.service.errors.QueueFullError`.
+* **Lifecycle.**  ``start`` launches the dispatcher, ``close`` stops intake,
+  drains every queued request, resolves their futures and joins the thread;
+  both are idempotent and the class is a context manager.  Submissions
+  before ``start`` simply queue up (the first window then coalesces them),
+  which the spy-store tests use to make batching deterministic.
+
+Under CPython's GIL the dispatcher does not add parallel compute; the point
+is the *traffic shape* -- bounded intake, coalesced store calls, percentile
+latency accounting -- with the store's executor seam remaining the cut point
+for real parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional
+
+from ..analytics import (
+    TraversalEngine,
+    bfs,
+    dijkstra,
+    pagerank,
+    strongly_connected_components,
+    top_degree_nodes,
+)
+from ..core.sharded import ShardedCuckooGraph
+from ..interfaces import DynamicGraphStore
+from .batcher import Request, gather_window, split_runs
+from .errors import QueueFullError, ServiceClosedError
+from .metrics import ServiceMetrics
+from .queue import POLICIES, BoundedRequestQueue
+
+#: Analytics jobs a service executes, each through a TraversalEngine so the
+#: store sees batched frontier expansion, never per-node round-trips.
+ANALYTICS_HANDLERS: Dict[str, Callable] = {
+    "bfs": bfs,
+    "sssp": dijkstra,
+    "pagerank": pagerank,
+    "components": strongly_connected_components,
+    "top_degree_nodes": top_degree_nodes,
+}
+
+
+class GraphService:
+    """Micro-batching request service over a batch-capable graph store.
+
+    Args:
+        store: Any :class:`~repro.interfaces.DynamicGraphStore`; defaults to
+            a fresh ``ShardedCuckooGraph(num_shards=4)``.  A store created
+            here is owned (and closed) by the service; a caller-provided
+            store is left open on :meth:`close` unless ``own_store=True``.
+        max_batch: Upper bound on requests per dispatch window.
+        max_delay_s: How long a window may wait for stragglers after its
+            first request; ``0`` (default) closes the window as soon as the
+            queue runs dry, favouring latency.
+        queue_capacity: Bound on queued (undispatched) requests.
+        policy: Backpressure policy, ``"block"`` or ``"reject"``.
+        own_store: Force (or forbid) closing the store on :meth:`close`.
+
+    Example:
+        >>> with GraphService() as service:
+        ...     fut = service.insert_edge(1, 2)
+        ...     fut.result()
+        True
+    """
+
+    def __init__(
+        self,
+        store: Optional[DynamicGraphStore] = None,
+        *,
+        max_batch: int = 128,
+        max_delay_s: float = 0.0,
+        queue_capacity: int = 1024,
+        policy: str = "block",
+        own_store: Optional[bool] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._own_store = store is None if own_store is None else own_store
+        self.store = store if store is not None else ShardedCuckooGraph(num_shards=4)
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._queue = BoundedRequestQueue(capacity=queue_capacity, policy=policy)
+        self.metrics = ServiceMetrics()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def start(self) -> "GraphService":
+        """Launch the dispatcher thread (idempotent until closed)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServiceClosedError("cannot start a closed GraphService")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop, name="graph-service", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop intake, drain in-flight requests, join the dispatcher.
+
+        Idempotent.  Every request queued before ``close`` is still
+        dispatched and its future resolved; requests submitted afterwards
+        raise :class:`ServiceClosedError`.  If the service was never
+        started, the queued futures are cancelled instead (there is no
+        dispatcher to execute them).  An owned store is closed last.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = self._queue.close()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+        else:
+            for request in leftovers:
+                if request.future.cancel():
+                    self.metrics.record_cancelled()
+        if self._own_store:
+            close = getattr(self.store, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "GraphService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission API (any thread)
+    # ------------------------------------------------------------------ #
+
+    def submit(self, kind: str, payload: object) -> Future:
+        """Enqueue one request; the returned future carries result or error.
+
+        Raises:
+            ServiceClosedError: the service is closed (or closes while a
+                ``policy="block"`` submitter is waiting for queue space).
+            QueueFullError: the queue is full under ``policy="reject"``.
+            ValueError: unknown ``kind`` or unknown analytics task.
+        """
+        if kind not in ("insert", "delete", "has", "successors", "analytics"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        if kind == "analytics":
+            task = payload[0]
+            if task not in ANALYTICS_HANDLERS:
+                raise ValueError(
+                    f"unknown analytics task {task!r}; "
+                    f"expected one of {sorted(ANALYTICS_HANDLERS)}"
+                )
+        if self._closed:
+            raise ServiceClosedError("GraphService is closed")
+        request = Request(kind, payload)
+        try:
+            self._queue.put(request)
+        except QueueFullError:
+            self.metrics.record_rejected()
+            raise
+        # Counted only after a successful enqueue, so the ledger invariant
+        # (submitted == resolved + failed + cancelled, rejected separate)
+        # holds even when backpressure fires or a close races the put.
+        self.metrics.record_submit(kind)
+        return request.future
+
+    def insert_edge(self, u: int, v: int) -> Future:
+        """Future[bool]: was ``⟨u, v⟩`` newly inserted?"""
+        return self.submit("insert", (u, v))
+
+    def delete_edge(self, u: int, v: int) -> Future:
+        """Future[bool]: was ``⟨u, v⟩`` present (and removed)?"""
+        return self.submit("delete", (u, v))
+
+    def has_edge(self, u: int, v: int) -> Future:
+        """Future[bool]: is ``⟨u, v⟩`` stored?"""
+        return self.submit("has", (u, v))
+
+    def successors(self, u: int) -> Future:
+        """Future[list[int]]: out-neighbours of ``u``."""
+        return self.submit("successors", u)
+
+    def analytics(self, task: str, *args, **kwargs) -> Future:
+        """Future: run a whole analytics job (see :data:`ANALYTICS_HANDLERS`)."""
+        return self.submit("analytics", (task, args, kwargs))
+
+    def metrics_summary(self) -> Dict[str, object]:
+        """Snapshot of request/batch/latency metrics (see ServiceMetrics)."""
+        return self.metrics.summary()
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet picked up by the dispatcher."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher (single thread)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            window = gather_window(self._queue, self.max_batch, self.max_delay_s)
+            if not window:
+                if self._queue.drained():
+                    return
+                continue
+            for kind, run in split_runs(window):
+                self._dispatch_run(kind, run)
+
+    def _dispatch_run(self, kind: str, run: List[Request]) -> None:
+        """Execute one same-kind run with batch store calls; resolve futures."""
+        live = [r for r in run if r.future.set_running_or_notify_cancel()]
+        skipped = len(run) - len(live)
+        for _ in range(skipped):
+            self.metrics.record_cancelled()
+        if not live:
+            return
+        if kind == "analytics":
+            self.metrics.record_batch(len(live), store_calls=len(live))
+            for request in live:
+                self._run_analytics(request)
+            return
+        try:
+            results, store_calls = self._execute_batch(kind, live)
+        except Exception as exc:  # route the failure to every caller in the run
+            now = time.perf_counter()
+            for request in live:
+                request.future.set_exception(exc)
+                self.metrics.record_failed(now - request.enqueued_at)
+            return
+        self.metrics.record_batch(len(live), store_calls=store_calls)
+        now = time.perf_counter()
+        for request, value in zip(live, results):
+            request.future.set_result(value)
+            self.metrics.record_resolved(now - request.enqueued_at)
+
+    def _execute_batch(self, kind: str, run: List[Request]):
+        """One run -> batch store calls -> per-request results.
+
+        Returns ``(results, store_calls)``; results align with ``run``.
+        """
+        store = self.store
+        if kind == "has":
+            edges = [r.payload for r in run]
+            return store.has_edges(edges), 1
+        if kind == "successors":
+            nodes = [r.payload for r in run]
+            fanned = store.successors_many(nodes)
+            # Copy: two requests for the same node must not share one list.
+            return [list(fanned[u]) for u in nodes], 1
+        edges = [r.payload for r in run]
+        present = store.has_edges(edges)
+        if kind == "insert":
+            store.insert_edges(edges)
+            seen: set = set()
+            results = []
+            for edge, was_present in zip(edges, present):
+                results.append(not was_present and edge not in seen)
+                seen.add(edge)
+            return results, 2
+        if kind == "delete":
+            store.delete_edges(edges)
+            gone: set = set()
+            results = []
+            for edge, was_present in zip(edges, present):
+                results.append(was_present and edge not in gone)
+                if was_present:
+                    gone.add(edge)
+            return results, 2
+        raise AssertionError(f"unreachable kind {kind!r}")
+
+    def _run_analytics(self, request: Request) -> None:
+        """Analytics jobs execute one by one; exceptions stay per-request."""
+        task, args, kwargs = request.payload
+        handler = ANALYTICS_HANDLERS[task]
+        try:
+            engine = TraversalEngine(self.store)
+            result = handler(self.store, *args, engine=engine, **kwargs)
+        except Exception as exc:
+            request.future.set_exception(exc)
+            self.metrics.record_failed(time.perf_counter() - request.enqueued_at)
+            return
+        request.future.set_result(result)
+        self.metrics.record_resolved(time.perf_counter() - request.enqueued_at)

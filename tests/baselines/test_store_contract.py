@@ -43,6 +43,15 @@ class TestContract:
             assert store.insert_edge(u, v) is False
         assert store.num_edges == len(small_edge_set)
 
+    def test_spawn_empty_yields_a_fresh_store_of_the_same_scheme(self, store):
+        store.insert_edge(1, 2)
+        fresh = store.spawn_empty()
+        assert fresh is not store
+        assert fresh.num_edges == 0
+        assert not fresh.has_edge(1, 2)
+        assert fresh.insert_edge(1, 2) is True  # usable, independent state
+        assert store.num_edges == 1
+
     def test_successors_match_reference(self, store, small_edge_set, reference):
         for u, v in small_edge_set:
             store.insert_edge(u, v)

@@ -33,6 +33,34 @@ ALL_STORE_FACTORIES = {
 }
 
 
+#: First seed of the fuzz sweep; every run's seed is derived from it
+#: deterministically, so a failure report names a directly reproducible seed.
+FUZZ_BASE_SEED = 20240515
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-runs",
+        action="store",
+        type=int,
+        default=2,
+        help="seeded iterations per randomized differential fuzz test "
+             "(CI uses the default on every push and a larger sweep on main)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``fuzz_seed`` with ``--fuzz-runs`` deterministic seeds.
+
+    The seed appears in the test id, so a red run names the exact
+    reproduction: ``pytest "tests/core/test_fuzz_differential.py" -k <seed>``.
+    """
+    if "fuzz_seed" in metafunc.fixturenames:
+        runs = metafunc.config.getoption("--fuzz-runs")
+        seeds = [FUZZ_BASE_SEED + 7919 * run for run in range(max(1, runs))]
+        metafunc.parametrize("fuzz_seed", seeds)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """Deterministic random source for tests."""

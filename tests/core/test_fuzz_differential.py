@@ -1,0 +1,238 @@
+"""Randomized differential fuzzer: every store vs a dict-of-sets oracle.
+
+Seeded random operation streams -- inserts (with duplicates and self-loops),
+deletes (including of absent edges), membership queries, successor queries
+and re-inserts after delete -- are replayed three ways:
+
+* **per-operation** against every store in the contract matrix
+  (``ALL_STORE_FACTORIES``), asserting each individual result against the
+  oracle;
+* **batched** through the sharded front-end's batch APIs under both the
+  serial and the threaded executor;
+* **through the GraphService front door**, submitting the whole stream as
+  futures and checking every future's result against an oracle replay in
+  submission order.
+
+Every assertion message carries the reproducing seed (it is also in the
+pytest parametrize id); rerun a failure with
+``pytest tests/core/test_fuzz_differential.py -k <seed>``.  The number of
+seeded runs is controlled by ``--fuzz-runs`` (see ``tests/conftest.py``);
+CI uses the small fixed sweep on every push and an extended sweep on main.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ShardedCuckooGraph, WeightedGraphStore
+from repro.service import GraphService
+
+from ..conftest import ALL_STORE_FACTORIES
+
+#: Small universe so inserts, deletes and queries collide constantly.
+NODE_RANGE = 48
+
+#: Operations per fuzz stream (per seed, per store).
+STREAM_LENGTH = 400
+
+#: insert-heavy mix, so the graph grows and deletes/queries hit real edges.
+OP_MIX = ("insert", "insert", "insert", "delete", "query", "successors")
+
+
+def generate_ops(seed: int, length: int = STREAM_LENGTH):
+    """Seeded random op stream: ``("insert"|"delete"|"query", u, v)`` or
+    ``("successors", u, None)``.  Self-loops and duplicates included."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(length):
+        action = rng.choice(OP_MIX)
+        u = rng.randrange(NODE_RANGE)
+        if action == "successors":
+            ops.append((action, u, None))
+        elif rng.random() < 0.05:
+            ops.append((action, u, u))  # explicit self-loop traffic
+        else:
+            ops.append((action, u, rng.randrange(NODE_RANGE)))
+    return ops
+
+
+class Oracle:
+    """Trivially correct model: dict of multisets (weighted) or sets.
+
+    ``weighted=True`` mirrors the extended CuckooGraph semantics: duplicate
+    inserts increment a weight, ``insert_edge`` reports ``True`` only for a
+    new edge, and ``delete_edge`` reports ``True`` only when the weight hits
+    zero and the edge is actually removed.
+    """
+
+    def __init__(self, weighted: bool = False):
+        self.weighted = weighted
+        self.counts: dict[tuple[int, int], int] = {}
+
+    def insert(self, u: int, v: int) -> bool:
+        count = self.counts.get((u, v), 0)
+        self.counts[(u, v)] = (count + 1) if self.weighted else 1
+        return count == 0
+
+    def delete(self, u: int, v: int) -> bool:
+        count = self.counts.get((u, v), 0)
+        if count == 0:
+            return False
+        if count > 1:
+            self.counts[(u, v)] = count - 1
+            return False
+        del self.counts[(u, v)]
+        return True
+
+    def has(self, u: int, v: int) -> bool:
+        return (u, v) in self.counts
+
+    def successors(self, u: int) -> set[int]:
+        return {v for (src, v) in self.counts if src == u}
+
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(self.counts)
+
+    def apply(self, op) -> object:
+        action, u, v = op
+        if action == "insert":
+            return self.insert(u, v)
+        if action == "delete":
+            return self.delete(u, v)
+        if action == "query":
+            return self.has(u, v)
+        return self.successors(u)
+
+
+def apply_to_store(store, op) -> object:
+    action, u, v = op
+    if action == "insert":
+        return store.insert_edge(u, v)
+    if action == "delete":
+        return store.delete_edge(u, v)
+    if action == "query":
+        return store.has_edge(u, v)
+    return store.successors(u)
+
+
+def assert_final_state(store, oracle: Oracle, context: str) -> None:
+    assert sorted(store.edges()) == oracle.edges(), context
+    assert store.num_edges == len(oracle.counts), context
+    for u in range(NODE_RANGE):
+        assert sorted(store.successors(u)) == sorted(oracle.successors(u)), \
+            f"{context}: successors({u}) diverged"
+
+
+# --------------------------------------------------------------------- #
+# 1. Per-operation replay across the whole store matrix
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("store_name", sorted(ALL_STORE_FACTORIES))
+def test_fuzz_store_matrix(store_name, fuzz_seed):
+    """Every per-op result of every store must match the oracle, op by op."""
+    store = ALL_STORE_FACTORIES[store_name]()
+    oracle = Oracle(weighted=isinstance(store, WeightedGraphStore))
+    for index, op in enumerate(generate_ops(fuzz_seed)):
+        expected = oracle.apply(op)
+        actual = apply_to_store(store, op)
+        if op[0] == "successors":
+            actual = sorted(actual)
+            expected = sorted(expected)
+        assert actual == expected, (
+            f"seed={fuzz_seed} store={store_name} op#{index}={op}: "
+            f"got {actual!r}, oracle says {expected!r}"
+        )
+    assert_final_state(store, oracle, f"seed={fuzz_seed} store={store_name}")
+
+
+# --------------------------------------------------------------------- #
+# 2. Batched replay through the sharded front-end, both executors
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+@pytest.mark.parametrize("num_shards", [1, 4])
+def test_fuzz_sharded_batched(num_shards, executor, fuzz_seed):
+    """Random per-kind batches through the batch APIs agree with the oracle."""
+    rng = random.Random(fuzz_seed * 31 + num_shards)
+    ops = generate_ops(fuzz_seed)
+    oracle = Oracle()
+    context = f"seed={fuzz_seed} shards={num_shards} executor={executor}"
+    with ShardedCuckooGraph(num_shards=num_shards, executor=executor) as store:
+        position = 0
+        while position < len(ops):
+            chunk = ops[position:position + rng.randrange(20, 90)]
+            position += len(chunk)
+            inserts = [(u, v) for a, u, v in chunk if a == "insert"]
+            deletes = [(u, v) for a, u, v in chunk if a == "delete"]
+            queries = [(u, v) for a, u, v in chunk if a == "query"]
+            frontier = [u for a, u, _ in chunk if a == "successors"]
+
+            # Replay grouped (inserts, then deletes, then reads) on both
+            # sides, comparing aggregate counts and every read answer.
+            assert store.insert_edges(inserts) == \
+                sum(oracle.insert(u, v) for u, v in inserts), context
+            assert store.delete_edges(deletes) == \
+                sum(oracle.delete(u, v) for u, v in deletes), context
+            assert store.has_edges(queries) == \
+                [oracle.has(u, v) for u, v in queries], context
+            fanned = store.successors_many(frontier)
+            for u in dict.fromkeys(frontier):
+                assert sorted(fanned[u]) == sorted(oracle.successors(u)), \
+                    f"{context}: successors_many({u}) diverged"
+        assert_final_state(store, oracle, context)
+
+
+# --------------------------------------------------------------------- #
+# 3. The whole stream through the GraphService front door
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+def test_fuzz_graph_service(executor, fuzz_seed):
+    """Service futures must resolve to exactly the oracle's per-op results.
+
+    The stream is submitted before the dispatcher starts, so the whole run
+    flows through coalesced windows (maximum batching pressure), and the
+    service's order-preserving run splitting is what keeps the sequential
+    oracle valid.
+    """
+    ops = generate_ops(fuzz_seed)
+    oracle = Oracle()
+    context = f"seed={fuzz_seed} executor={executor}"
+    store = ShardedCuckooGraph(num_shards=3, executor=executor)
+    service = GraphService(store, max_batch=64,
+                           queue_capacity=len(ops), policy="block")
+    futures = []
+    for op in ops:
+        action, u, v = op
+        if action == "insert":
+            futures.append(service.insert_edge(u, v))
+        elif action == "delete":
+            futures.append(service.delete_edge(u, v))
+        elif action == "query":
+            futures.append(service.has_edge(u, v))
+        else:
+            futures.append(service.successors(u))
+        # the oracle replays the identical stream in submission order
+    expected = [oracle.apply(op) for op in ops]
+
+    service.start()
+    try:
+        for index, (op, future, want) in enumerate(zip(ops, futures, expected)):
+            got = future.result(timeout=30)
+            if op[0] == "successors":
+                got, want = sorted(got), sorted(want)
+            assert got == want, (
+                f"{context} op#{index}={op}: future resolved to {got!r}, "
+                f"oracle says {want!r}"
+            )
+        assert_final_state(store, oracle, context)
+        summary = service.metrics_summary()
+        assert summary["resolved"] == len(ops), context
+        assert summary["failed"] == 0, context
+    finally:
+        service.close()

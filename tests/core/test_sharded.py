@@ -11,7 +11,7 @@ import pytest
 
 from repro import CuckooGraph, ShardedCuckooGraph
 from repro.core import CuckooGraphConfig
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, StoreClosedError
 from repro.core.sharded import shard_index
 
 
@@ -180,15 +180,14 @@ class TestExecutor:
         assert graph._pool is not None
         graph.close()
         assert graph._pool is None
-        # Usable again after close: the pool is lazily recreated.
-        assert graph.has_edges(small_edge_set[:10]) == [True] * 10
-        graph.close()
+        assert graph.closed
 
     def test_context_manager_closes_pool(self, small_edge_set):
         with ShardedCuckooGraph(num_shards=4, executor="threads") as graph:
             graph.insert_edges(small_edge_set)
             assert graph._pool is not None
         assert graph._pool is None
+        assert graph.closed
 
     def test_threaded_batches_match_serial(self, small_edge_set, reference):
         serial = ShardedCuckooGraph(num_shards=4)
@@ -219,6 +218,52 @@ class TestExecutor:
                                 max_workers=2) as graph:
             assert graph.insert_edges(small_edge_set) == len(small_edge_set)
             assert graph._pool._max_workers == 2
+
+
+class TestCloseLifecycle:
+    """``close`` is idempotent; post-close batch calls fail loudly.
+
+    The latent bug this pins down: ``close`` used to merely drop the thread
+    pool, so a second ``close`` raced a concurrent batch lazily resurrecting
+    it, and use-after-close silently rebuilt executor state.  Now the store
+    transitions to a terminal closed state instead.
+    """
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_close_is_idempotent(self, executor, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor=executor)
+        graph.insert_edges(small_edge_set[:50])
+        graph.close()
+        graph.close()  # second close must be a no-op, not an error
+        assert graph.closed
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_batch_calls_after_close_raise(self, executor, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor=executor)
+        graph.insert_edges(small_edge_set[:50])
+        graph.close()
+        with pytest.raises(StoreClosedError):
+            graph.insert_edges([(1, 2)])
+        with pytest.raises(StoreClosedError):
+            graph.delete_edges([(1, 2)])
+        with pytest.raises(StoreClosedError):
+            graph.has_edges([(1, 2)])
+        with pytest.raises(StoreClosedError):
+            graph.successors_many([1])
+
+    def test_single_operation_reads_survive_close(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor="threads")
+        graph.insert_edges(small_edge_set[:50])
+        graph.close()
+        u, v = small_edge_set[0]
+        assert graph.has_edge(u, v)
+        assert v in graph.successors(u)
+        assert graph.num_edges == 50
+
+    def test_close_before_any_batch_is_safe(self):
+        graph = ShardedCuckooGraph(num_shards=2, executor="threads")
+        graph.close()
+        assert graph.closed and graph._pool is None
 
 
 class TestWeightedSharding:

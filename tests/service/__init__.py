@@ -1,0 +1,1 @@
+"""Tests for the request-queue service layer (:mod:`repro.service`)."""

@@ -1,0 +1,217 @@
+"""Micro-batching behaviour: coalescing, ordering, per-request results.
+
+The acceptance-critical test lives here: a spy store proves that requests
+reach the store *only* through the batch APIs -- at least one coalesced call
+per dispatch window, zero per-operation calls.  Submissions happen before
+``start()`` so the window contents are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CuckooGraph, ShardedCuckooGraph
+from repro.analytics import bfs, pagerank
+from repro.interfaces import DynamicGraphStore
+from repro.service import GraphService, Request, split_runs
+
+
+class SpyStore(DynamicGraphStore):
+    """Delegating store that records every call that reaches it."""
+
+    name = "SpyStore"
+
+    def __init__(self, inner: DynamicGraphStore):
+        self.inner = inner
+        self.batch_calls: list[tuple[str, int]] = []  # (method, batch size)
+        self.single_calls: list[str] = []
+
+    # batch API: record and delegate
+    def insert_edges(self, edges):
+        edges = list(edges)
+        self.batch_calls.append(("insert_edges", len(edges)))
+        return self.inner.insert_edges(edges)
+
+    def delete_edges(self, edges):
+        edges = list(edges)
+        self.batch_calls.append(("delete_edges", len(edges)))
+        return self.inner.delete_edges(edges)
+
+    def has_edges(self, edges):
+        edges = list(edges)
+        self.batch_calls.append(("has_edges", len(edges)))
+        return self.inner.has_edges(edges)
+
+    def successors_many(self, nodes):
+        nodes = list(nodes)
+        self.batch_calls.append(("successors_many", len(nodes)))
+        return self.inner.successors_many(nodes)
+
+    # single-op API: the service must never use these
+    def insert_edge(self, u, v):
+        self.single_calls.append("insert_edge")
+        return self.inner.insert_edge(u, v)
+
+    def delete_edge(self, u, v):
+        self.single_calls.append("delete_edge")
+        return self.inner.delete_edge(u, v)
+
+    def has_edge(self, u, v):
+        self.single_calls.append("has_edge")
+        return self.inner.has_edge(u, v)
+
+    def successors(self, u):
+        self.single_calls.append("successors")
+        return self.inner.successors(u)
+
+    # passthrough plumbing
+    def memory_bytes(self):
+        return self.inner.memory_bytes()
+
+    @property
+    def num_edges(self):
+        return self.inner.num_edges
+
+    def edges(self):
+        return self.inner.edges()
+
+
+def calls_of(spy: SpyStore, method: str) -> list[int]:
+    return [size for name, size in spy.batch_calls if name == method]
+
+
+class TestCoalescing:
+    def test_microbatches_reach_batch_api_with_zero_per_op_calls(self):
+        """Acceptance check: >= 1 coalesced call per window, no per-op calls."""
+        spy = SpyStore(ShardedCuckooGraph(num_shards=2))
+        service = GraphService(spy, max_batch=256, own_store=False)
+        inserts = [service.insert_edge(u, u + 1) for u in range(40)]
+        probes = [service.has_edge(u, u + 1) for u in range(25)]
+        fans = [service.successors(u) for u in range(10)]
+        # Everything is queued; the first dispatch window coalesces it all.
+        with service:
+            assert [f.result(10) for f in inserts] == [True] * 40
+            assert [f.result(10) for f in probes] == [True] * 25
+            assert [f.result(10) for f in fans] == [[u + 1] for u in range(10)]
+
+        # One coalesced insert call (plus its batched result pre-probe), one
+        # membership call, one fan-out call -- and zero per-op store calls.
+        assert calls_of(spy, "insert_edges") == [40]
+        assert calls_of(spy, "has_edges") == [40, 25]  # pre-probe + queries
+        assert calls_of(spy, "successors_many") == [10]
+        assert spy.single_calls == []
+
+    def test_windows_split_at_max_batch(self):
+        spy = SpyStore(ShardedCuckooGraph(num_shards=2))
+        service = GraphService(spy, max_batch=64, own_store=False)
+        futures = [service.insert_edge(u, 1000 + u) for u in range(133)]
+        with service:
+            assert sum(f.result(10) for f in futures) == 133
+        sizes = calls_of(spy, "insert_edges")
+        assert sum(sizes) == 133
+        assert all(size <= 64 for size in sizes)
+        assert len(sizes) >= 3
+        assert spy.single_calls == []
+
+    def test_metrics_report_coalescing(self):
+        service = GraphService(ShardedCuckooGraph(num_shards=2), max_batch=128)
+        futures = [service.insert_edge(u, u + 1) for u in range(50)]
+        with service:
+            for future in futures:
+                future.result(10)
+        summary = service.metrics_summary()
+        assert summary["batches"] == 1
+        assert summary["max_batch_size"] == 50
+        assert summary["resolved"] == 50
+        assert summary["latency"]["count"] == 50
+
+
+class TestOrderingSemantics:
+    def test_mixed_kinds_resolve_in_submission_order(self):
+        """insert -> has -> delete -> has -> insert on one edge, one window."""
+        service = GraphService(ShardedCuckooGraph(num_shards=2), max_batch=16)
+        futures = [
+            service.insert_edge(1, 2),
+            service.has_edge(1, 2),
+            service.delete_edge(1, 2),
+            service.has_edge(1, 2),
+            service.insert_edge(1, 2),
+        ]
+        with service:
+            assert [f.result(10) for f in futures] == [True, True, True, False, True]
+        assert sorted(service.store.edges()) == [(1, 2)]
+
+    def test_duplicate_inserts_in_one_window(self):
+        service = GraphService(ShardedCuckooGraph(num_shards=2))
+        futures = [service.insert_edge(7, 8) for _ in range(4)]
+        with service:
+            assert [f.result(10) for f in futures] == [True, False, False, False]
+
+    def test_duplicate_deletes_in_one_window(self):
+        store = ShardedCuckooGraph(num_shards=2)
+        store.insert_edges([(3, 4)])
+        service = GraphService(store, own_store=True)
+        futures = [service.delete_edge(3, 4) for _ in range(3)]
+        with service:
+            assert [f.result(10) for f in futures] == [True, False, False]
+
+    def test_split_runs_preserves_order_and_maximality(self):
+        window = [Request(kind, None) for kind in
+                  ("insert", "insert", "has", "has", "has", "insert", "delete")]
+        runs = [(kind, len(run)) for kind, run in split_runs(window)]
+        assert runs == [("insert", 2), ("has", 3), ("insert", 1), ("delete", 1)]
+
+    def test_self_loops_round_trip(self):
+        service = GraphService(ShardedCuckooGraph(num_shards=2))
+        with service:
+            assert service.insert_edge(5, 5).result(10) is True
+            assert service.has_edge(5, 5).result(10) is True
+            assert service.successors(5).result(10) == [5]
+            assert service.delete_edge(5, 5).result(10) is True
+
+
+class TestAnalyticsDispatch:
+    @pytest.fixture
+    def loaded_service(self):
+        store = ShardedCuckooGraph(num_shards=2)
+        service = GraphService(store, own_store=True)
+        edges = [(u, u + 1) for u in range(1, 30)] + [(1, 10), (10, 20)]
+        with service:
+            futures = [service.insert_edge(u, v) for u, v in edges]
+            for future in futures:
+                future.result(10)
+            yield service, store
+
+    def test_bfs_matches_direct_kernel(self, loaded_service):
+        service, store = loaded_service
+        assert service.analytics("bfs", 1).result(10) == bfs(store, 1)
+
+    def test_pagerank_matches_direct_kernel(self, loaded_service):
+        service, store = loaded_service
+        served = service.analytics("pagerank", iterations=10).result(10)
+        assert served == pagerank(store, iterations=10)
+
+    def test_unknown_analytics_task_rejected_at_submit(self, loaded_service):
+        service, _ = loaded_service
+        with pytest.raises(ValueError, match="unknown analytics task"):
+            service.analytics("mincut", 1)
+
+    def test_unknown_kind_rejected_at_submit(self, loaded_service):
+        service, _ = loaded_service
+        with pytest.raises(ValueError, match="unknown request kind"):
+            service.submit("compact", None)
+
+    def test_analytics_exception_routed_to_its_future_only(self, loaded_service):
+        service, store = loaded_service
+        bad = service.analytics("sssp", 1, weight=lambda u, v: 1 / 0)
+        good = service.has_edge(1, 2)
+        with pytest.raises(ZeroDivisionError):
+            bad.result(10)
+        assert good.result(10) is True  # the service keeps serving
+
+    def test_plain_store_works_behind_the_service(self):
+        """The front door runs over any DynamicGraphStore, not just sharded."""
+        service = GraphService(CuckooGraph(), own_store=True)
+        with service:
+            assert service.insert_edge(1, 2).result(10) is True
+            assert service.successors(1).result(10) == [2]
