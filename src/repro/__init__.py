@@ -26,6 +26,7 @@ from .core import (
     WeightedCuckooGraph,
 )
 from .interfaces import DynamicGraphStore, WeightedGraphStore
+from .persist import PersistentStore, recover
 from .service import GraphClient, GraphService
 
 __version__ = "1.0.0"
@@ -38,8 +39,10 @@ __all__ = [
     "GraphService",
     "MultiEdgeCuckooGraph",
     "PAPER_CONFIG",
+    "PersistentStore",
     "ShardedCuckooGraph",
     "WeightedCuckooGraph",
     "WeightedGraphStore",
     "__version__",
+    "recover",
 ]

@@ -31,6 +31,7 @@ from ..baselines import COMPETITORS
 from ..core import CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph, WeightedCuckooGraph
 from ..datasets import EdgeStream, load_dataset
 from ..interfaces import DynamicGraphStore
+from ..persist import PersistentStore
 from ..service import GraphClient
 
 #: Name the paper uses for CuckooGraph in every figure legend.
@@ -46,14 +47,38 @@ SHARDED = "Ours-Sharded"
 #: not the bare structure.
 SERVICE = "Ours-Service"
 
+#: The durable scheme: the sharded front-end wrapped in the write-ahead-log
+#: :class:`~repro.persist.PersistentStore` (one WAL segment per shard), so
+#: this scheme measures the in-memory structure *plus* the logging path.
+#: Built by name it runs ephemeral (temporary directory, removed on close)
+#: and unsynced -- buffered appends, no fsync per operation -- which is the
+#: logging-overhead-only configuration; ``benchmarks/test_fig06d_durability``
+#: measures the fsync/group-commit axis explicitly.
+DURABLE = "Ours-Durable"
+
 #: Default shard count used when the sharded scheme is built by name.
 DEFAULT_SHARDS = 4
 
-#: Schemes that *are* CuckooGraph (single-instance, sharded or served).  The
-#: "CuckooGraph beats each competitor" shape checks iterate the complement
-#: of this set, so registering another of our own variants never turns it
-#: into a competitor.
-OURS_FAMILY = frozenset({OURS, SHARDED, SERVICE})
+#: Schemes that *are* CuckooGraph (single-instance, sharded, served or made
+#: durable).  The "CuckooGraph beats each competitor" shape checks iterate
+#: the complement of this set, so registering another of our own variants
+#: never turns it into a competitor.
+OURS_FAMILY = frozenset({OURS, SHARDED, SERVICE, DURABLE})
+
+
+def _durable_store(config: Optional[CuckooGraphConfig] = None) -> PersistentStore:
+    """Ephemeral durable scheme: WAL-wrapped sharded store, buffered appends.
+
+    Compaction is disabled so the cells measure pure logging overhead at any
+    dataset scale; the snapshot/truncate axis is what
+    ``benchmarks/test_fig06d_durability.py`` measures explicitly.
+    """
+    return PersistentStore(
+        store=ShardedCuckooGraph(num_shards=DEFAULT_SHARDS, config=config),
+        sync_on_commit=False,
+        compact_wal_bytes=None,
+        own_store=True,
+    )
 
 #: Scheme name -> store factory, in the order the figures list them.
 #: WBI's bucket matrix is sized so that its edges-per-bucket load on the
@@ -67,6 +92,7 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
     OURS: CuckooGraph,
     SHARDED: lambda: ShardedCuckooGraph(num_shards=DEFAULT_SHARDS),
     SERVICE: lambda: GraphClient.local(num_shards=DEFAULT_SHARDS),
+    DURABLE: _durable_store,
     "WBI": lambda: COMPETITORS["WBI"](matrix_size=16),
 }
 
@@ -86,6 +112,8 @@ def build_store(scheme: str, config: Optional[CuckooGraphConfig] = None) -> Dyna
             return ShardedCuckooGraph(num_shards=DEFAULT_SHARDS, config=config)
         if scheme == SERVICE:
             return GraphClient.local(num_shards=DEFAULT_SHARDS, config=config)
+        if scheme == DURABLE:
+            return _durable_store(config)
     return SCHEMES[scheme]()
 
 

@@ -28,7 +28,10 @@ from .errors import (
     CuckooGraphError,
     IntegrationError,
     NotFoundError,
+    PersistenceError,
+    SnapshotCorruptError,
     StoreClosedError,
+    WalCorruptError,
 )
 from .graph import CuckooGraph
 from .hashing import BobHash, HashFamily, ModularHash, MultiplyShiftHash
@@ -55,9 +58,12 @@ __all__ = [
     "MultiplyShiftHash",
     "NotFoundError",
     "PAPER_CONFIG",
+    "PersistenceError",
     "ShardedCuckooGraph",
     "SmallDenylist",
+    "SnapshotCorruptError",
     "StoreClosedError",
+    "WalCorruptError",
     "TableChain",
     "WeightedCuckooGraph",
     "shard_index",

@@ -43,3 +43,35 @@ class StoreClosedError(CuckooGraphError):
 
 class IntegrationError(CuckooGraphError):
     """Raised by the database integrations (mini-Redis / mini-Neo4j)."""
+
+
+class PersistenceError(CuckooGraphError):
+    """Raised on misuse of the durability subsystem (:mod:`repro.persist`).
+
+    Examples: appending to a closed write-ahead log, initialising a fresh
+    :class:`~repro.persist.PersistentStore` over a directory that already
+    holds one (use :func:`~repro.persist.recover`), or recovering with a
+    store whose sharding does not match the on-disk WAL segmentation.
+    """
+
+
+class WalCorruptError(PersistenceError):
+    """Raised when a write-ahead log fails validation *before* its tail.
+
+    The reader treats the first structurally incomplete record as the end
+    of the log (the crash signature); damage it can *prove* no crashed
+    append produces -- a foreign magic header, a checksum mismatch on a
+    record with more data after it, an undecodable opcode inside a
+    checksum-valid record -- raises this instead of being skipped.  (A
+    corrupted length field claiming past end-of-file is indistinguishable
+    from a torn tail and is treated as one.)
+    """
+
+
+class SnapshotCorruptError(PersistenceError):
+    """Raised when a snapshot file fails its magic/length/checksum checks.
+
+    Snapshots are written to a temporary file and atomically renamed into
+    place, so a crash never leaves a half-written snapshot under the final
+    name; corruption therefore always indicates external damage.
+    """

@@ -12,6 +12,7 @@ the scale configurable for larger runs.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -75,8 +76,15 @@ class DatasetProfile:
         return nodes, total, dedup
 
     def generate(self, scale: Optional[int] = None, seed: int = 1) -> EdgeStream:
-        """Generate the scaled synthetic stand-in stream for this dataset."""
-        rng = random.Random(seed * 1_000_003 + hash(self.name) % 1_000_000)
+        """Generate the scaled synthetic stand-in stream for this dataset.
+
+        The per-dataset seed component is a CRC of the name, not ``hash()``:
+        string hashing is randomized per process (PYTHONHASHSEED), which
+        used to regenerate *different* stand-in streams on every run and
+        made the benchmark shape checks flaky.  Streams are now bit-stable
+        across processes for a given ``(name, scale, seed)``.
+        """
+        rng = random.Random(seed * 1_000_003 + zlib.crc32(self.name.encode()) % 1_000_000)
         nodes, total, dedup = self.scaled_counts(scale)
         if self.kind == KIND_DENSE:
             distinct = dense_edge_set(nodes, self.dense_density, rng)

@@ -1,0 +1,89 @@
+"""Durability subsystem: write-ahead log, snapshots and crash recovery.
+
+Any :class:`~repro.interfaces.DynamicGraphStore` becomes restartable by
+wrapping it in a :class:`PersistentStore`: mutations are appended to a
+checksummed binary write-ahead log *before* they are applied (one record
+per batch call per touched segment -- which is what makes group commit
+cheap), a
+snapshot-plus-truncate compaction bounds log growth, and :func:`recover`
+replays snapshot and log into a fresh store of any registered scheme.
+Sharded stores log one WAL segment per shard, so recovery can replay them
+in parallel.
+
+Quickstart::
+
+    from repro.persist import PersistentStore, recover
+
+    with PersistentStore("/tmp/graph", scheme="sharded") as store:
+        store.insert_edges([(1, 2), (1, 3)])
+
+    # ... process crashes and restarts ...
+    store = recover("/tmp/graph")
+    assert store.has_edge(1, 2)
+"""
+
+from .snapshot import (
+    CompactionPolicy,
+    KIND_PLAIN,
+    KIND_WEIGHTED,
+    SNAPSHOT_MAGIC,
+    fsync_directory,
+    load_snapshot,
+    read_snapshot,
+    snapshot_rows,
+    write_snapshot,
+)
+from .store import (
+    LOCK_NAME,
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    PersistentStore,
+    SNAPSHOT_NAME,
+    STORE_SCHEMES,
+    open_or_create,
+    recover,
+    register_scheme,
+    replay_into,
+)
+from .wal import (
+    DELETE,
+    INSERT,
+    INSERT_WEIGHTED,
+    WAL_HEADER_SIZE,
+    WAL_MAGIC,
+    WriteAheadLog,
+    decode_ops,
+    encode_ops,
+    read_wal,
+)
+
+__all__ = [
+    "CompactionPolicy",
+    "DELETE",
+    "INSERT",
+    "INSERT_WEIGHTED",
+    "KIND_PLAIN",
+    "KIND_WEIGHTED",
+    "LOCK_NAME",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "PersistentStore",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_NAME",
+    "STORE_SCHEMES",
+    "WAL_HEADER_SIZE",
+    "WAL_MAGIC",
+    "WriteAheadLog",
+    "decode_ops",
+    "encode_ops",
+    "fsync_directory",
+    "load_snapshot",
+    "open_or_create",
+    "read_snapshot",
+    "read_wal",
+    "recover",
+    "register_scheme",
+    "replay_into",
+    "snapshot_rows",
+    "write_snapshot",
+]

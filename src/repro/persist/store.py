@@ -1,0 +1,843 @@
+"""`PersistentStore`: durability wrapper for any :class:`DynamicGraphStore`.
+
+The wrapper is write-ahead in the strict sense: every mutation (single-op
+or batch) is encoded into **one** WAL group-commit record and appended
+*before* it is applied to the wrapped store, so the on-disk log is always a
+superset of the in-memory state and a crash can lose at most the commits
+whose records never completed.  Reads delegate straight through -- the
+wrapped structure keeps its access characteristics, counters and memory
+model untouched.
+
+Layout of a store directory::
+
+    manifest.json     scheme name + WAL segmentation (written once)
+    snapshot.bin      logical edge set at the last compaction (optional)
+    wal-000.bin ...   one segment, or one per shard of a sharded store
+
+Sharded stores get **one WAL segment per shard**, routed by the same
+``shard_of`` hash that routes the operations themselves.  Because every
+operation on a source node lands in that node's segment, the segments are
+totally ordered per shard and mutually independent -- recovery can replay
+them in parallel (``recover(..., parallel=True)``) exactly the way the
+sharded executor fans batches out.
+
+Recovery is :func:`recover`: load the snapshot (if any) into a fresh store
+of the recorded (or caller-supplied) scheme, replay every complete WAL
+record, truncate any torn tail, and hand back a ``PersistentStore`` that
+appends where the crashed one stopped.  The invariant the crash-recovery
+suite enforces: for any prefix of the WAL, recovery reproduces exactly the
+state at the last complete group commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TypeVar, Union
+
+from ..core.errors import PersistenceError, StoreClosedError
+from ..core.graph import CuckooGraph
+from ..core.sharded import ShardedCuckooGraph
+from ..core.weighted import WeightedCuckooGraph
+from ..interfaces import DynamicGraphStore
+from .snapshot import CompactionPolicy, fsync_directory, load_snapshot, write_snapshot
+from .wal import (
+    DELETE,
+    INSERT,
+    INSERT_WEIGHTED,
+    Op,
+    WAL_HEADER_SIZE,
+    WriteAheadLog,
+    read_wal_records,
+)
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: the advisory lock degrades to a no-op
+    fcntl = None
+
+#: File names inside a store directory.
+MANIFEST_NAME = "manifest.json"
+SNAPSHOT_NAME = "snapshot.bin"
+LOCK_NAME = "lock"
+
+#: On-disk manifest format version.
+MANIFEST_FORMAT = 1
+
+_A = TypeVar("_A")
+
+
+class _DirectoryLock:
+    """Advisory exclusive lock on a store directory (``flock`` on ``lock``).
+
+    Exactly one writer -- a live :class:`PersistentStore` or an in-progress
+    :func:`recover` (which truncates torn tails) -- may hold a directory at
+    a time.  Without this, a recovery probe racing a live unsynced writer
+    could truncate a half-flushed record and stitch the writer's next flush
+    onto the wrong offset, corrupting the log for good.  ``flock`` conflicts
+    across open file descriptions, so a second store in the *same* process
+    is refused too.  For read-only online inspection use
+    :func:`replay_into`, which neither locks nor truncates.
+    """
+
+    def __init__(self, directory: Path):
+        self.path = directory / LOCK_NAME
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> None:
+        if fcntl is None:
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise PersistenceError(
+                f"{self.path.parent} is held by another live store or an "
+                f"in-progress recovery"
+            ) from None
+        self._fd = fd
+
+    def release(self) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+#: Scheme registry used by :func:`recover` to rebuild a store by name.
+#: ``register_scheme`` extends it (the bench layer registers nothing here;
+#: these are the schemes whose constructors the persist layer owns).
+STORE_SCHEMES: Dict[str, Callable[[], DynamicGraphStore]] = {
+    "cuckoo": CuckooGraph,
+    "weighted": WeightedCuckooGraph,
+    "sharded": lambda: ShardedCuckooGraph(num_shards=4),
+    "sharded-weighted": lambda: ShardedCuckooGraph(num_shards=4, weighted=True),
+}
+
+
+def register_scheme(name: str, factory: Callable[[], DynamicGraphStore]) -> None:
+    """Register a zero-argument store factory under ``name`` for recovery."""
+    STORE_SCHEMES[name] = factory
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:03d}.bin"
+
+
+def _resolve_factory(scheme: Union[str, Callable[[], DynamicGraphStore]]):
+    if callable(scheme):
+        return scheme
+    try:
+        return STORE_SCHEMES[scheme]
+    except KeyError:
+        raise PersistenceError(
+            f"unknown persistence scheme {scheme!r}; expected one of "
+            f"{sorted(STORE_SCHEMES)} or a factory callable"
+        ) from None
+
+
+def _segmentation_of(store: DynamicGraphStore) -> int:
+    """WAL segments a store needs: one per shard, else a single segment."""
+    if callable(getattr(store, "shard_of", None)):
+        return int(getattr(store, "num_shards", 1))
+    return 1
+
+
+def _read_manifest(path: Path) -> dict:
+    """Parse a store directory's manifest, surfacing damage as PersistenceError."""
+    try:
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["segments"] = int(manifest["segments"])
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError, KeyError,
+            TypeError, ValueError) as error:
+        raise PersistenceError(f"{path}: unreadable {MANIFEST_NAME} ({error})") from error
+    return manifest
+
+
+def _write_manifest(path: Path, manifest: dict) -> None:
+    """Atomically (temp file + fsync + rename) write the manifest.
+
+    The manifest is written once per store lifetime, but it is the file
+    recovery reads first -- a torn manifest would strand perfectly good,
+    fsynced WAL data, so it gets the same crash discipline as snapshots.
+    """
+    target = path / MANIFEST_NAME
+    temp = path / (MANIFEST_NAME + ".tmp")
+    with open(temp, "w") as file:
+        file.write(json.dumps(manifest, indent=2) + "\n")
+        file.flush()
+        os.fsync(file.fileno())
+    os.replace(temp, target)
+    fsync_directory(path)
+
+
+class PersistentStore(DynamicGraphStore):
+    """Write-ahead-logged wrapper implementing the full store contract.
+
+    Args:
+        path: Store directory.  ``None`` creates an ephemeral temporary
+            directory that is removed on :meth:`close` (what the benchmark
+            scheme registry uses, so figure runs leave nothing behind).
+        store: The structure to wrap.  When omitted, ``scheme`` builds it.
+        scheme: Registered scheme name (or factory) used when ``store`` is
+            not given; a *name* is recorded in the manifest so
+            :func:`recover` can rebuild the store without being told.
+        sync_on_commit: ``True`` makes every commit individually durable
+            (one fsync per mutation call); ``False`` buffers appends until
+            :meth:`sync` -- the deferral :class:`~repro.service.GraphService`
+            turns into per-micro-batch group commits.
+        compact_wal_bytes: WAL size threshold (summed over segments) past
+            which the store snapshots itself and truncates the log;
+            ``None`` disables compaction.
+
+    ``close`` is terminal and idempotent, matching
+    :class:`~repro.core.sharded.ShardedCuckooGraph`: post-close mutations
+    raise :class:`~repro.core.errors.StoreClosedError`, reads keep
+    delegating to the wrapped store.
+    """
+
+    name = "PersistentStore"
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        store: Optional[DynamicGraphStore] = None,
+        scheme: Union[str, Callable[[], DynamicGraphStore]] = "sharded",
+        *,
+        sync_on_commit: bool = True,
+        compact_wal_bytes: Optional[int] = 1 << 20,
+        own_store: Optional[bool] = None,
+        _scheme_name: Optional[str] = None,
+        _recovered: bool = False,
+        _generation: int = 0,
+        _lock: Optional[_DirectoryLock] = None,
+    ):
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if path is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-persist-")
+            path = self._tmpdir.name
+        self._path = Path(path)
+        self._path.mkdir(parents=True, exist_ok=True)
+        if _lock is not None:
+            self._lock = _lock  # recovery already holds the directory
+        else:
+            self._lock = _DirectoryLock(self._path)
+            self._lock.acquire()
+        try:
+            self._initialise(store, scheme, sync_on_commit, compact_wal_bytes,
+                             own_store, _scheme_name, _recovered, _generation)
+        except BaseException:
+            self._lock.release()
+            raise
+
+    def _initialise(self, store, scheme, sync_on_commit, compact_wal_bytes,
+                    own_store, _scheme_name, _recovered, _generation) -> None:
+        if store is None:
+            self._store = _resolve_factory(scheme)()
+            self._scheme_name = scheme if isinstance(scheme, str) else None
+        else:
+            self._store = store
+            self._scheme_name = _scheme_name
+        self._own_store = (store is None) if own_store is None else own_store
+
+        self._sync_on_commit = sync_on_commit
+        self._policy = CompactionPolicy(max_wal_bytes=compact_wal_bytes)
+        self._closed = False
+        self._spawn_counter = 0
+        #: Checkpoint counter; bumped by every snapshot-and-truncate cycle
+        #: and stamped into both the snapshot and the WAL segment headers
+        #: so recovery can prove which of the two a record belongs to.
+        self._generation = _generation
+
+        #: Group commits logged (one per mutation call, however large).
+        self.commits = 0
+        #: Snapshot-and-truncate cycles performed.
+        self.compactions = 0
+        #: Filled in by :func:`recover` on a recovered instance.
+        self.last_recovery: Optional[Dict[str, object]] = None
+
+        manifest_path = self._path / MANIFEST_NAME
+        if manifest_path.exists():
+            if not _recovered:
+                raise PersistenceError(
+                    f"{self._path} already holds a persistent store; "
+                    f"use repro.persist.recover() to reopen it"
+                )
+            segments = int(_read_manifest(self._path)["segments"])
+        else:
+            segments = _segmentation_of(self._store)
+            _write_manifest(self._path, {
+                "format": MANIFEST_FORMAT,
+                "scheme": self._scheme_name,
+                "segments": segments,
+            })
+        if segments != _segmentation_of(self._store):
+            raise PersistenceError(
+                f"{self._path} is segmented for {segments} shard(s) but the "
+                f"store routes over {_segmentation_of(self._store)}"
+            )
+        self._segments = segments
+        self._wals = [
+            WriteAheadLog(self._path / _segment_name(index),
+                          sync_on_commit=sync_on_commit,
+                          generation=self._generation)
+            for index in range(segments)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def path(self) -> Path:
+        """The store directory (ephemeral when constructed with ``path=None``)."""
+        return self._path
+
+    @property
+    def store(self) -> DynamicGraphStore:
+        """The wrapped in-memory structure."""
+        return self._store
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and release the log, then the wrapped store.  Idempotent.
+
+        Terminal in the same sense as the sharded front-end's ``close``:
+        further mutations raise :class:`StoreClosedError` instead of
+        silently writing to a released log.  An ephemeral (``path=None``)
+        store also removes its temporary directory here.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for wal in self._wals:
+            wal.close()
+        if self._own_store:
+            close = getattr(self._store, "close", None)
+            if callable(close):
+                close()
+        self._lock.release()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "PersistentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Logging
+    # ------------------------------------------------------------------ #
+
+    def _ensure_writable(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"{self.name} is closed; mutations are no longer accepted")
+
+    def _commit(self, ops: List[Op]) -> list:
+        """Append one group-commit record (per touched segment) for ``ops``.
+
+        Returns the ``(segment, size before append)`` pairs :meth:`_rollback`
+        needs to compensate if the subsequent store apply fails.
+        """
+        if not ops:
+            return []
+        touched: list = []
+        if self._segments == 1:
+            wal = self._wals[0]
+            touched.append((wal, wal.size_bytes))
+            wal.append_batch(ops)
+        else:
+            shard_of = self._store.shard_of
+            groups: Dict[int, List[Op]] = {}
+            for op in ops:
+                groups.setdefault(shard_of(op[1]), []).append(op)
+            for index, group in groups.items():
+                wal = self._wals[index]
+                touched.append((wal, wal.size_bytes))
+                wal.append_batch(group)
+        self.commits += 1
+        return touched
+
+    def _rollback(self, touched: list) -> None:
+        """Drop the records of a commit whose apply raised.
+
+        Leaves the log a faithful record of what the store *accepted*: a
+        failed mutation (say, a :class:`~repro.core.errors.CapacityError`
+        mid-batch) must not survive in the WAL, or every future recovery
+        would replay it into the same exception and the directory would be
+        unrecoverable.  The in-memory store may retain a partially applied
+        batch (the same caveat batch exceptions already carry); after a
+        restart the whole failed commit is simply absent.
+        """
+        for wal, size in touched:
+            wal.rewind_to(size)
+        self.commits -= 1
+
+    def sync(self) -> None:
+        """Fsync every segment's buffered records (one group commit).
+
+        With ``sync_on_commit=False`` this is the durability point: the
+        service layer calls it once per dispatched micro-batch, *before*
+        resolving the batch's futures.
+        """
+        self._ensure_writable()
+        for wal in self._wals:
+            wal.sync()
+
+    def wal_bytes(self) -> int:
+        """Total WAL size across segments (header bytes included)."""
+        return sum(wal.size_bytes for wal in self._wals)
+
+    def checkpoint(self) -> int:
+        """Snapshot the wrapped store and truncate the WAL; return rows written.
+
+        Crash-atomic via the generation stamp: the snapshot (written and
+        atomically renamed with generation ``G+1``) is the commit point, and
+        each segment is then truncated to a header stamped ``G+1``.  A crash
+        in between leaves some segments at generation ``G``; recovery skips
+        them because their records are provably folded into the snapshot.
+        """
+        self._ensure_writable()
+        generation = self._generation + 1
+        rows = write_snapshot(self._path / SNAPSHOT_NAME, self._store,
+                              generation=generation)
+        for wal in self._wals:
+            wal.truncate(generation=generation)
+        self._generation = generation
+        self.compactions += 1
+        return rows
+
+    def _maybe_compact(self) -> None:
+        if self._policy.should_compact(self.wal_bytes()):
+            self.checkpoint()
+
+    def persistence_summary(self) -> Dict[str, object]:
+        """Snapshot of the durability-side accounting."""
+        return {
+            "path": str(self._path),
+            "segments": self._segments,
+            "scheme": self._scheme_name,
+            "generation": self._generation,
+            "commits": self.commits,
+            "compactions": self.compactions,
+            "wal_bytes": self.wal_bytes(),
+            "wal_records": sum(wal.records_appended for wal in self._wals),
+            "wal_syncs": sum(wal.syncs for wal in self._wals),
+            "snapshot_exists": (self._path / SNAPSHOT_NAME).exists(),
+            "last_recovery": self.last_recovery,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutations: log first, then apply
+    # ------------------------------------------------------------------ #
+
+    def _logged_apply(self, ops: List[Op], apply: Callable[[], _A]) -> _A:
+        """Write-ahead core: log ``ops``, run ``apply``, compensate on failure."""
+        touched = self._commit(ops)
+        try:
+            result = apply()
+        except Exception:
+            self._rollback(touched)
+            raise
+        self._maybe_compact()
+        return result
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        self._ensure_writable()
+        return self._logged_apply([(INSERT, u, v)],
+                                  lambda: self._store.insert_edge(u, v))
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        self._ensure_writable()
+        return self._logged_apply([(DELETE, u, v)],
+                                  lambda: self._store.delete_edge(u, v))
+
+    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """One group commit for the whole batch, then one batch apply."""
+        self._ensure_writable()
+        edges = list(edges)
+        return self._logged_apply([(INSERT, u, v) for u, v in edges],
+                                  lambda: self._store.insert_edges(edges))
+
+    def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """One group commit for the whole batch, then one batch apply."""
+        self._ensure_writable()
+        edges = list(edges)
+        return self._logged_apply([(DELETE, u, v) for u, v in edges],
+                                  lambda: self._store.delete_edges(edges))
+
+    def insert_weighted_edge(self, u: int, v: int, delta: int = 1) -> int:
+        """Weighted insert, logged with its delta (wrapped store must support it)."""
+        self._ensure_writable()
+        insert_weighted = getattr(self._store, "insert_weighted_edge", None)
+        if not callable(insert_weighted):
+            raise TypeError(f"wrapped store {self._store.name!r} is not weighted")
+        return self._logged_apply([(INSERT_WEIGHTED, u, v, delta)],
+                                  lambda: insert_weighted(u, v, delta))
+
+    # ------------------------------------------------------------------ #
+    # Reads: straight delegation
+    # ------------------------------------------------------------------ #
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._store.has_edge(u, v)
+
+    def successors(self, u: int) -> list[int]:
+        return self._store.successors(u)
+
+    def out_degree(self, u: int) -> int:
+        return self._store.out_degree(u)
+
+    def has_node(self, u: int) -> bool:
+        return self._store.has_node(u)
+
+    def has_edges(self, edges: Iterable[tuple[int, int]]) -> list[bool]:
+        return self._store.has_edges(edges)
+
+    def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        return self._store.successors_many(nodes)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return self._store.edges()
+
+    def source_nodes(self) -> Iterator[int]:
+        return self._store.source_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._store.num_edges
+
+    def edge_weight(self, u: int, v: int) -> int:
+        return self._store.edge_weight(u, v)
+
+    def memory_bytes(self) -> int:
+        """Memory model of the wrapped structure (the log lives on disk)."""
+        return self._store.memory_bytes()
+
+    @property
+    def accesses(self) -> int:
+        return getattr(self._store, "accesses", 0)
+
+    def reset_accesses(self) -> None:
+        self._store.reset_accesses()
+
+    @property
+    def counters(self):
+        return getattr(self._store, "counters", None)
+
+    def structure_summary(self) -> dict[str, object]:
+        summary = getattr(self._store, "structure_summary", None)
+        inner = summary() if callable(summary) else {"num_edges": self.num_edges}
+        return {"persistence": self.persistence_summary(), "store": inner}
+
+    def spawn_empty(self) -> "PersistentStore":
+        """Fresh empty persistent store of the same configuration.
+
+        An ephemeral store spawns another ephemeral one; a store rooted at a
+        real path spawns into a ``spawn-N`` subdirectory, so everything a
+        test writes stays under the directory (and pytest ``tmp_path``) it
+        was given.
+        """
+        if self._tmpdir is None:
+            while True:
+                spawn_path = self._path / f"spawn-{self._spawn_counter}"
+                self._spawn_counter += 1
+                if not spawn_path.exists():
+                    break
+        else:
+            spawn_path = None
+        return PersistentStore(
+            path=spawn_path,
+            store=self._store.spawn_empty(),
+            sync_on_commit=self._sync_on_commit,
+            compact_wal_bytes=self._policy.max_wal_bytes,
+            # The spawned wrapper is the sole holder of the inner store it
+            # just created, so it owns (and closes) it.
+            own_store=True,
+            _scheme_name=self._scheme_name,
+        )
+
+
+class _PoisonedTail(Exception):
+    """Internal: a segment's *final* record failed to apply during replay.
+
+    The matching live-store scenario is an apply that raised after its
+    record was fsynced and the process died before the compensating
+    :meth:`WriteAheadLog.rewind_to` could run.  The record has been
+    truncated away by the time this is raised; :func:`recover` restarts
+    replay into a fresh store.
+    """
+
+
+def _apply_op(store: DynamicGraphStore, op: Op) -> None:
+    tag = op[0]
+    if tag == INSERT:
+        store.insert_edge(op[1], op[2])
+    elif tag == DELETE:
+        store.delete_edge(op[1], op[2])
+    else:
+        store.insert_weighted_edge(op[1], op[2], op[3])
+
+
+def _check_replay_compatible(path: Path, store: DynamicGraphStore,
+                             records) -> None:
+    """Refuse up front to replay weighted records into an unweighted store.
+
+    Applying them would raise mid-replay, which the poisoned-tail handling
+    could then misread as a crash artefact and set good records aside; a
+    scheme mismatch is operator error and must fail loudly and losslessly.
+    """
+    if callable(getattr(store, "insert_weighted_edge", None)):
+        return
+    if any(op[0] == INSERT_WEIGHTED for ops, _ in records for op in ops):
+        raise PersistenceError(
+            f"{path} holds weighted records but the recovery store "
+            f"({store.name!r}) is not weighted"
+        )
+
+
+def _set_aside_poisoned(path: Path, start: int) -> None:
+    """Move a poisoned record's bytes to a ``.poisoned`` sidecar, then truncate.
+
+    Dropped records are unacknowledged by construction, but they are still
+    the only copy of *something* -- preserve the bytes for forensics (and
+    for the case where the real problem was recovering into a
+    mis-configured store) instead of destroying them.
+    """
+    data = path.read_bytes()
+    sidecar = path.with_name(path.name + ".poisoned")
+    with open(sidecar, "ab") as file:
+        file.write(data[start:])
+        file.flush()
+        os.fsync(file.fileno())
+    with open(path, "rb+") as file:
+        file.truncate(start)
+
+
+def _replay_segment(path: Path, store: DynamicGraphStore,
+                    snapshot_generation: int) -> Dict[str, int]:
+    """Replay one segment into ``store``; truncate its torn tail, if any.
+
+    A segment stamped with a generation *older* than the snapshot's is the
+    signature of a checkpoint that crashed between the snapshot rename and
+    this segment's truncation: its records are already folded into the
+    snapshot, so replaying them would double-apply weighted deltas.  Such a
+    segment is skipped and truncated to nothing (a fresh header at the
+    current generation is written on the next append).
+    """
+    generation, records, valid_length = read_wal_records(path)
+    stale = generation is not None and generation < snapshot_generation
+    if stale:
+        valid_length = 0
+    if path.exists() and path.stat().st_size > valid_length:
+        # The bytes past the last complete record (or the whole stale
+        # segment) are a crash artefact; drop them so appending resumes on
+        # a clean record boundary.
+        with open(path, "rb+") as file:
+            file.truncate(valid_length)
+    if stale:
+        return {"batches": 0, "ops": 0}
+    _check_replay_compatible(path, store, records)
+    ops = 0
+    start = WAL_HEADER_SIZE
+    for index, (batch, end) in enumerate(records):
+        try:
+            for op in batch:
+                _apply_op(store, op)
+        except Exception as error:
+            if index == len(records) - 1:
+                # The final commit's apply fails deterministically -- the
+                # signature of a process that logged the record, hit this
+                # same exception applying it, and was killed before the
+                # compensating rewind ran.  Set the record aside (it is by
+                # construction unacknowledged: its mutation call never
+                # returned) so the directory stays recoverable.
+                _set_aside_poisoned(path, start)
+                raise _PoisonedTail(str(error)) from error
+            raise PersistenceError(
+                f"{path}: replay failed {len(records) - index - 1} record(s) "
+                f"before the tail -- not a crash artefact"
+            ) from error
+        ops += len(batch)
+        start = end
+    return {"batches": len(records), "ops": ops}
+
+
+def recover(
+    path: Union[str, Path],
+    scheme: Optional[Union[str, Callable[[], DynamicGraphStore]]] = None,
+    store: Optional[DynamicGraphStore] = None,
+    *,
+    sync_on_commit: bool = True,
+    compact_wal_bytes: Optional[int] = 1 << 20,
+    parallel: bool = False,
+    own_store: Optional[bool] = None,
+) -> PersistentStore:
+    """Rebuild a :class:`PersistentStore` from its directory.
+
+    Loads the snapshot (if one exists) into a fresh store, replays every
+    complete WAL record on top, truncates any torn tail, and returns a
+    wrapper that appends where the previous process stopped.  The fresh
+    store comes from ``store`` (an empty instance), else ``scheme`` (a
+    registered name or factory), else the scheme name recorded in the
+    directory's manifest.
+
+    ``parallel=True`` replays the per-shard segments of a sharded store
+    concurrently -- legal because each segment only ever routes to its own
+    shard, the same independence the executor exploits for batches.
+    ``own_store`` forces (or forbids) the returned wrapper closing the
+    store on ``close``; by default the wrapper owns the store exactly when
+    this function built it.
+    """
+    path = Path(path)
+    if not (path / MANIFEST_NAME).exists():
+        raise PersistenceError(f"{path} has no {MANIFEST_NAME}; nothing to recover")
+    manifest = _read_manifest(path)
+    segments = int(manifest["segments"])
+    scheme_name = manifest.get("scheme")
+
+    built_here = store is None
+    if store is None:
+        chosen = scheme if scheme is not None else scheme_name
+        if chosen is None:
+            raise PersistenceError(
+                f"{path} records no scheme name; pass recover(..., scheme=...) "
+                f"or recover(..., store=...)"
+            )
+        store = _resolve_factory(chosen)()
+    if store.num_edges != 0:
+        raise PersistenceError("recovery target store must be empty")
+    if segments != _segmentation_of(store):
+        raise PersistenceError(
+            f"{path} holds {segments} WAL segment(s) but the recovery store "
+            f"routes over {_segmentation_of(store)}; shard counts must match"
+        )
+
+    # Exclusive hold for the whole replay (recovery truncates torn tails; a
+    # live writer must not be appending meanwhile) and then handed to the
+    # returned store, so the directory is continuously protected.
+    lock = _DirectoryLock(path)
+    lock.acquire()
+    try:
+        started = time.perf_counter()
+        segment_paths = [path / _segment_name(index) for index in range(segments)]
+        retries = 0
+        while True:
+            try:
+                snapshot_rows, generation = load_snapshot(path / SNAPSHOT_NAME, store)
+                if parallel and segments > 1:
+                    with ThreadPoolExecutor(max_workers=segments) as pool:
+                        stats = list(pool.map(
+                            lambda seg: _replay_segment(seg, store, generation),
+                            segment_paths))
+                else:
+                    stats = [_replay_segment(seg, store, generation)
+                             for seg in segment_paths]
+                break
+            except _PoisonedTail:
+                # A poisoned final record was set aside; replay the now
+                # clean log into a fresh store (the current one holds a
+                # partial application of the dropped record).  At most one
+                # retry per segment can ever be needed.
+                retries += 1
+                if retries > segments:
+                    raise PersistenceError(
+                        f"{path}: replay kept failing after setting aside "
+                        f"{retries - 1} poisoned tail record(s)"
+                    ) from None
+                store = store.spawn_empty()
+        seconds = time.perf_counter() - started
+
+        recovered = PersistentStore(
+            path=path,
+            store=store,
+            sync_on_commit=sync_on_commit,
+            compact_wal_bytes=compact_wal_bytes,
+            # A store recover() built -- from a scheme or by respawning after
+            # a poisoned tail -- has no other holder, so the wrapper owns it.
+            own_store=True if (built_here or retries) and own_store is None else own_store,
+            _scheme_name=scheme_name,
+            _recovered=True,
+            _generation=generation,
+            _lock=lock,
+        )
+    except BaseException:
+        lock.release()  # idempotent: a failed constructor released it already
+        raise
+    recovered.last_recovery = {
+        "snapshot_rows": snapshot_rows,
+        "wal_batches": sum(stat["batches"] for stat in stats),
+        "wal_ops": sum(stat["ops"] for stat in stats),
+        "seconds": seconds,
+        "parallel": parallel and segments > 1,
+    }
+    return recovered
+
+
+def open_or_create(
+    path: Union[str, Path],
+    store: Optional[DynamicGraphStore] = None,
+    scheme: Union[str, Callable[[], DynamicGraphStore]] = "sharded",
+    **kwargs,
+) -> PersistentStore:
+    """Open ``path`` as a persistent store, recovering it if it already is one.
+
+    The restart-friendly entry point: a directory that already holds a
+    manifest is :func:`recover`-ed (``store``/``scheme`` must match its
+    segmentation), anything else becomes a fresh :class:`PersistentStore`.
+    Keyword arguments (``sync_on_commit``, ``compact_wal_bytes``,
+    ``own_store``, and ``parallel`` for the recovery path) pass through.
+    """
+    path = Path(path)
+    if (path / MANIFEST_NAME).exists():
+        return recover(path, scheme=None if store is not None else scheme,
+                       store=store, **kwargs)
+    kwargs.pop("parallel", None)  # creation has nothing to replay
+    return PersistentStore(path, store=store, scheme=scheme, **kwargs)
+
+
+def replay_into(path: Union[str, Path], store: DynamicGraphStore) -> Dict[str, int]:
+    """Read-only replay of a store directory into an empty ``store``.
+
+    The online-inspection counterpart of :func:`recover`: it takes no lock,
+    never truncates, and never opens a segment for append, so it is safe to
+    run against a **live, synced** writer (call the live store's ``sync()``
+    first; unsynced buffered records are simply not visible yet).  Torn
+    tails are skipped, stale (pre-snapshot-generation) segments are ignored,
+    and the stats dict mirrors ``last_recovery``.
+    """
+    path = Path(path)
+    if not (path / MANIFEST_NAME).exists():
+        raise PersistenceError(f"{path} has no {MANIFEST_NAME}; nothing to replay")
+    segments = _read_manifest(path)["segments"]
+    if store.num_edges != 0:
+        raise PersistenceError("replay target store must be empty")
+    if segments != _segmentation_of(store):
+        raise PersistenceError(
+            f"{path} holds {segments} WAL segment(s) but the replay store "
+            f"routes over {_segmentation_of(store)}; shard counts must match"
+        )
+    snapshot_rows, generation = load_snapshot(path / SNAPSHOT_NAME, store)
+    batches = ops = 0
+    for index in range(segments):
+        segment = path / _segment_name(index)
+        seg_generation, records, _ = read_wal_records(segment)
+        if seg_generation is not None and seg_generation < generation:
+            continue  # folded into the snapshot by an interrupted checkpoint
+        _check_replay_compatible(segment, store, records)
+        for record_ops, _ in records:
+            for op in record_ops:
+                _apply_op(store, op)
+            ops += len(record_ops)
+            batches += 1
+    return {"snapshot_rows": snapshot_rows, "wal_batches": batches, "wal_ops": ops}

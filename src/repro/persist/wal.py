@@ -1,0 +1,383 @@
+"""Binary write-ahead log with checksummed, length-framed group commits.
+
+The durability idiom is the one the repo already models for LiveGraph's
+Transactional Edge Log and Redis' AOF, promoted to a real subsystem: every
+mutation is encoded into a compact binary record and appended to a log
+*before* it is applied to the in-memory structure, so a crash can lose at
+most the commits that never reached the disk.
+
+Framing.  A log file starts with a 16-byte header -- an 8-byte magic plus
+the 8-byte **generation** the segment was created or last truncated at
+(see below) -- and then holds a sequence of records::
+
+    +----------+----------+------------------+
+    | length   | crc32    | payload          |
+    | 4B <I    | 4B <I    | ``length`` bytes |
+    +----------+----------+------------------+
+
+One record is one **group commit**: the payload concatenates every
+operation of one batched mutation call (``insert_edges`` of 500 edges is a
+single record, a single ``fsync``).  Each operation is an opcode byte plus
+8-byte little-endian signed node identifiers (the paper uses 8-byte ids):
+``insert``/``delete`` carry ``(u, v)``, ``insert_w`` carries
+``(u, v, delta)`` for weighted stores.
+
+Torn tails.  A crash mid-append leaves a final record whose header, payload
+or checksum is incomplete.  :func:`read_wal` treats the first structurally
+incomplete record as the end of the log -- the standard WAL reading rule:
+it returns every complete record before that point plus the byte offset up
+to which the file is valid, and :func:`~repro.persist.store.recover`
+truncates the file there before appending resumes.  Damage the reader *can*
+prove a crashed append never produces -- a foreign magic header, a checksum
+mismatch on a record with more data after it, an undecodable opcode inside
+a checksum-valid record -- raises
+:class:`~repro.core.errors.WalCorruptError` instead of being skipped.  (A
+corrupted *length* field that claims past end-of-file is structurally
+indistinguishable from a torn tail and is treated as one.)
+
+Generations.  Compaction must be crash-atomic: the snapshot is written (and
+atomically renamed) first, then every segment is truncated.  A crash in
+between would leave records on disk that the snapshot already contains --
+replaying them would double-apply weighted deltas.  The generation stamp
+closes that window: a checkpoint writes generation ``G`` into the snapshot
+(the rename is the commit point) and then truncates each segment to a
+header stamped ``G``; recovery skips -- and re-truncates -- any segment
+whose generation is older than the snapshot's, because its content is by
+construction already folded in.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from ..core.errors import PersistenceError, WalCorruptError
+
+#: Magic identifying a CuckooGraph WAL segment (8 bytes, versioned).
+WAL_MAGIC = b"CKGRWAL1"
+
+#: Generation stamp following the magic (see module docstring).
+_GENERATION = struct.Struct("<Q")
+
+#: Total file-header size: magic + generation.
+WAL_HEADER_SIZE = len(WAL_MAGIC) + _GENERATION.size
+
+#: Record header: payload length + CRC32 of the payload.
+_RECORD_HEADER = struct.Struct("<II")
+
+#: Opcode byte values used in record payloads.
+OP_INSERT = 1
+OP_DELETE = 2
+OP_INSERT_WEIGHTED = 3
+
+#: Logical operation tags as they appear in op tuples.
+INSERT = "insert"
+DELETE = "delete"
+INSERT_WEIGHTED = "insert_w"
+
+_EDGE_OP = struct.Struct("<Bqq")
+_WEIGHTED_OP = struct.Struct("<Bqqq")
+
+#: ``op tag -> (opcode, struct)`` for the encoder.
+_ENCODERS = {
+    INSERT: (OP_INSERT, _EDGE_OP),
+    DELETE: (OP_DELETE, _EDGE_OP),
+    INSERT_WEIGHTED: (OP_INSERT_WEIGHTED, _WEIGHTED_OP),
+}
+
+#: ``opcode -> (tag, struct)`` for the decoder.
+_DECODERS = {
+    OP_INSERT: (INSERT, _EDGE_OP),
+    OP_DELETE: (DELETE, _EDGE_OP),
+    OP_INSERT_WEIGHTED: (INSERT_WEIGHTED, _WEIGHTED_OP),
+}
+
+#: An op tuple: ``("insert"|"delete", u, v)`` or ``("insert_w", u, v, delta)``.
+Op = tuple
+
+
+def fsync_directory(directory: os.PathLike | str) -> None:
+    """Make a file creation or rename in ``directory`` itself durable.
+
+    ``open(..., "ab")`` and ``os.replace`` update a directory entry; on
+    common filesystems that entry is not on disk until the *directory* is
+    fsynced.  Segment creation, snapshots and manifests all go through
+    this, so a power loss cannot lose a file whose contents were already
+    fsynced, nor resurrect a pre-rename file after later fsynced writes
+    survived.
+    """
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def encode_ops(ops: Iterable[Op]) -> bytes:
+    """Serialise a group commit's operations into one record payload."""
+    parts: list[bytes] = []
+    for op in ops:
+        tag = op[0]
+        try:
+            opcode, packer = _ENCODERS[tag]
+        except KeyError:
+            raise PersistenceError(f"unknown WAL operation tag {tag!r}") from None
+        parts.append(packer.pack(opcode, *op[1:]))
+    return b"".join(parts)
+
+
+def decode_ops(payload: bytes) -> List[Op]:
+    """Parse one record payload back into its operation tuples.
+
+    Raises :class:`WalCorruptError` on an unknown opcode or a truncated
+    operation; the payload has already passed its CRC, so either means the
+    record was written by something other than :func:`encode_ops`.
+    """
+    ops: List[Op] = []
+    offset = 0
+    length = len(payload)
+    while offset < length:
+        opcode = payload[offset]
+        entry = _DECODERS.get(opcode)
+        if entry is None:
+            raise WalCorruptError(f"unknown WAL opcode {opcode} at payload offset {offset}")
+        tag, packer = entry
+        end = offset + packer.size
+        if end > length:
+            raise WalCorruptError(f"truncated WAL operation at payload offset {offset}")
+        fields = packer.unpack_from(payload, offset)
+        ops.append((tag, *fields[1:]))
+        offset = end
+    return ops
+
+
+def read_wal_records(
+    path: os.PathLike | str,
+) -> Tuple[int | None, List[Tuple[List[Op], int]], int]:
+    """Read a WAL segment, tolerating a torn final record.
+
+    Returns ``(generation, records, valid_length)``: the generation stamped
+    in the segment header (``None`` if no complete header exists), one
+    ``(ops, end_offset)`` pair per complete group-commit record in append
+    order (``end_offset`` is the byte offset just past the record), and the
+    byte offset up to which the file holds complete records.
+    ``valid_length`` is what recovery truncates the file to before
+    appending resumes.  A missing or empty file yields ``(None, [], 0)``; a
+    partially written header (torn initial create) also yields
+    ``(None, [], 0)``.  A *wrong* magic raises :class:`WalCorruptError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None, [], 0
+    data = path.read_bytes()
+    if len(data) < len(WAL_MAGIC):
+        if WAL_MAGIC.startswith(data):
+            return None, [], 0  # torn header write: no commit ever completed
+        raise WalCorruptError(f"{path} does not start with a WAL magic header")
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalCorruptError(f"{path} has a foreign magic header")
+    if len(data) < WAL_HEADER_SIZE:
+        return None, [], 0  # generation stamp torn mid-create
+    generation = _GENERATION.unpack_from(data, len(WAL_MAGIC))[0]
+
+    records: List[Tuple[List[Op], int]] = []
+    offset = WAL_HEADER_SIZE
+    total = len(data)
+    while True:
+        header_end = offset + _RECORD_HEADER.size
+        if header_end > total:
+            break  # torn record header
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        payload_end = header_end + length
+        if payload_end > total:
+            break  # torn payload
+        payload = data[header_end:payload_end]
+        if zlib.crc32(payload) != crc:
+            if payload_end == total:
+                break  # torn final record: checksum never completed
+            raise WalCorruptError(
+                f"{path}: checksum mismatch in a non-final record at offset {offset}"
+            )
+        records.append((decode_ops(payload), payload_end))
+        offset = payload_end
+    return generation, records, offset
+
+
+def read_wal(path: os.PathLike | str) -> Tuple[int | None, List[List[Op]], int]:
+    """Like :func:`read_wal_records`, returning just the op batches."""
+    generation, records, valid_length = read_wal_records(path)
+    return generation, [ops for ops, _ in records], valid_length
+
+
+class WriteAheadLog:
+    """Append-only log of group-commit records for one WAL segment.
+
+    Args:
+        path: Segment file; created (with its header) on first append.
+        sync_on_commit: ``True`` fsyncs after every appended record, making
+            each commit individually durable; ``False`` buffers appends and
+            leaves the fsync to an explicit :meth:`sync` (the group-commit
+            deferral the service layer exploits).
+        generation: Stamp written into the header of a *fresh* segment; an
+            existing segment keeps the generation already on disk.
+
+    The file handle is opened lazily, so a log constructed purely to *read*
+    (recovery) never takes a second writer on the segment.
+    """
+
+    def __init__(self, path: os.PathLike | str, sync_on_commit: bool = True,
+                 generation: int = 0):
+        self.path = Path(path)
+        self.sync_on_commit = sync_on_commit
+        self.generation = generation
+        self._file = None
+        self._closed = False
+        self._dirty = False  # buffered records not yet fsynced
+        self._size = self.path.stat().st_size if self.path.exists() else 0
+        #: Group-commit records appended through this handle.
+        self.records_appended = 0
+        #: fsync calls issued (per-commit or explicit).
+        self.syncs = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size_bytes(self) -> int:
+        """Current segment size in bytes (header included)."""
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self):
+        if self._closed:
+            raise PersistenceError(f"WAL segment {self.path} is closed")
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._size >= WAL_HEADER_SIZE:
+                with open(self.path, "rb") as existing:
+                    header = existing.read(WAL_HEADER_SIZE)
+                if header[: len(WAL_MAGIC)] != WAL_MAGIC:
+                    raise WalCorruptError(f"{self.path} has a foreign magic header")
+                self.generation = _GENERATION.unpack_from(header, len(WAL_MAGIC))[0]
+            created = not self.path.exists()
+            self._file = open(self.path, "ab")
+            if created:
+                # The new directory entry must be durable before any record
+                # in the file is: otherwise a power loss could drop the
+                # whole segment while recovery still finds the manifest and
+                # silently reports the (fsynced!) commits as never made.
+                fsync_directory(self.path.parent)
+            if self._size < WAL_HEADER_SIZE:
+                # Fresh (or torn-at-create) segment: (re)write the header.
+                self._file.truncate(0)
+                self._file.write(WAL_MAGIC + _GENERATION.pack(self.generation))
+                self._file.flush()
+                self._size = WAL_HEADER_SIZE
+        return self._file
+
+    def close(self) -> None:
+        """Flush, fsync unsynced records and release the segment.
+
+        Idempotent and terminal.
+        """
+        if self._closed:
+            return
+        if self._file is not None:
+            self._file.flush()
+            if self._dirty:
+                os.fsync(self._file.fileno())
+                self.syncs += 1
+                self._dirty = False
+            self._file.close()
+            self._file = None
+        self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append_batch(self, ops: Iterable[Op]) -> int:
+        """Append one group-commit record; return the bytes written.
+
+        An empty operation list is a no-op (nothing to make durable), so
+        callers can pass mutation batches through without special-casing.
+        """
+        payload = encode_ops(ops)
+        if not payload:
+            return 0
+        file = self._ensure_open()
+        record = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        file.write(record)
+        self._size += len(record)
+        self.records_appended += 1
+        if self.sync_on_commit:
+            file.flush()
+            os.fsync(file.fileno())
+            self.syncs += 1
+        else:
+            self._dirty = True
+        return len(record)
+
+    def sync(self) -> None:
+        """Flush buffered records to the disk (one fsync for all of them).
+
+        A no-op on a segment with nothing unsynced, so a multi-segment
+        store's group commit costs one fsync per segment the batch actually
+        *touched*, not one per shard.
+        """
+        if self._closed:
+            raise PersistenceError(f"WAL segment {self.path} is closed")
+        if self._file is not None and self._dirty:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.syncs += 1
+            self._dirty = False
+
+    def rewind_to(self, size: int) -> None:
+        """Drop everything appended past byte offset ``size``.
+
+        Compensation hook for a write-ahead caller whose *apply* step failed
+        after the record was already logged: truncating the freshly appended
+        tail keeps the log a faithful record of what the store accepted.
+        (``records_appended``/``syncs`` count attempts and are not rewound.)
+        """
+        if self._closed:
+            raise PersistenceError(f"WAL segment {self.path} is closed")
+        if self._file is None or size >= self._size:
+            return
+        self._file.flush()
+        self._file.truncate(size)
+        os.fsync(self._file.fileno())
+        self.syncs += 1
+        self._dirty = False
+        self._size = size
+
+    def truncate(self, generation: int | None = None) -> None:
+        """Drop every record, leaving an empty (header-only) segment.
+
+        Called after a snapshot has captured the store state the records
+        rebuilt; ``generation`` (when given) re-stamps the header with the
+        snapshot's generation, which is what lets recovery prove a
+        not-yet-truncated sibling segment is stale (see module docstring).
+        """
+        # Open first: _ensure_open adopts the generation of an existing
+        # on-disk header, and the explicit re-stamp must win over that (a
+        # lazily-unopened segment would otherwise be truncated under its
+        # *old* generation and every later commit dropped as stale).
+        file = self._ensure_open()
+        if generation is not None:
+            self.generation = generation
+        file.truncate(0)
+        file.write(WAL_MAGIC + _GENERATION.pack(self.generation))
+        file.flush()
+        os.fsync(file.fileno())
+        self.syncs += 1
+        self._dirty = False
+        self._size = WAL_HEADER_SIZE

@@ -24,11 +24,12 @@ from .client import GraphClient
 from .errors import QueueFullError, ServiceClosedError, ServiceError
 from .metrics import LatencyRecorder, ServiceMetrics, percentile
 from .queue import POLICIES, BoundedRequestQueue
-from .service import ANALYTICS_HANDLERS, GraphService
+from .service import ANALYTICS_HANDLERS, DURABILITY_MODES, GraphService
 
 __all__ = [
     "ANALYTICS_HANDLERS",
     "BoundedRequestQueue",
+    "DURABILITY_MODES",
     "GraphClient",
     "GraphService",
     "KINDS",

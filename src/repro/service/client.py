@@ -18,9 +18,11 @@ flight.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
 
 from ..core.config import CuckooGraphConfig
+from ..core.errors import StoreClosedError
 from ..core.sharded import ShardedCuckooGraph
 from ..interfaces import DynamicGraphStore
 from .service import GraphService
@@ -48,6 +50,7 @@ class GraphClient(DynamicGraphStore):
     def __init__(self, service: GraphService, *, close_service: bool = False):
         self._service = service
         self._close_service = close_service
+        self._closed = False
         if not service.running and not service.closed:
             service.start()
 
@@ -66,14 +69,73 @@ class GraphClient(DynamicGraphStore):
         service = GraphService(store, own_store=True, **service_kwargs)
         return cls(service.start(), close_service=True)
 
+    @classmethod
+    def durable(
+        cls,
+        path: Optional[Union[str, Path]] = None,
+        num_shards: int = 4,
+        config: Optional[CuckooGraphConfig] = None,
+        **service_kwargs,
+    ) -> "GraphClient":
+        """Client over a group-committing durable service.
+
+        The sharded store is wrapped in a
+        :class:`~repro.persist.PersistentStore` (one WAL segment per shard)
+        with ``sync_on_commit=False``, and the service runs with
+        ``durability="batch"``: each dispatched micro-batch becomes one
+        group commit -- an fsync per WAL segment the batch touched, at most
+        ``num_shards`` -- before its futures resolve.  ``path=None`` keeps the
+        store ephemeral (the directory is removed on close); a ``path``
+        that already holds a persistent store is **recovered** first, so
+        the same call works on the first run and on every restart
+        (``num_shards`` must match the on-disk segmentation).
+        """
+        from ..persist import PersistentStore, open_or_create
+
+        inner = ShardedCuckooGraph(num_shards=num_shards, config=config)
+        if path is not None:
+            store = open_or_create(path, store=inner, sync_on_commit=False,
+                                   own_store=True)
+        else:
+            store = PersistentStore(
+                path=None, store=inner, sync_on_commit=False, own_store=True
+            )
+        service = GraphService(
+            store, own_store=True, durability="batch", **service_kwargs
+        )
+        return cls(service.start(), close_service=True)
+
     @property
     def service(self) -> GraphService:
         return self._service
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this client."""
+        return self._closed
+
     def close(self) -> None:
-        """Close the service too, if this client owns it.  Idempotent."""
+        """Terminal close, aligned with the sharded front-end's semantics.
+
+        Idempotent.  The underlying service is closed too when this client
+        owns it; either way, further operations through the client raise
+        :class:`~repro.core.errors.StoreClosedError` (a non-owning client
+        must not keep feeding a service it has declared itself done with).
+        Quiesced introspection reads (``edges``, ``num_edges``, ...) keep
+        working, exactly like single-operation reads on a closed
+        :class:`~repro.core.sharded.ShardedCuckooGraph`.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._close_service:
             self._service.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(
+                f"{self.name} is closed; operations are no longer accepted"
+            )
 
     def __enter__(self) -> "GraphClient":
         return self
@@ -86,15 +148,19 @@ class GraphClient(DynamicGraphStore):
     # ------------------------------------------------------------------ #
 
     def insert_edge(self, u: int, v: int) -> bool:
+        self._ensure_open()
         return self._service.insert_edge(u, v).result()
 
     def delete_edge(self, u: int, v: int) -> bool:
+        self._ensure_open()
         return self._service.delete_edge(u, v).result()
 
     def has_edge(self, u: int, v: int) -> bool:
+        self._ensure_open()
         return self._service.has_edge(u, v).result()
 
     def successors(self, u: int) -> list[int]:
+        self._ensure_open()
         return self._service.successors(u).result()
 
     # ------------------------------------------------------------------ #
@@ -102,18 +168,22 @@ class GraphClient(DynamicGraphStore):
     # ------------------------------------------------------------------ #
 
     def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        self._ensure_open()
         futures = [self._service.insert_edge(u, v) for u, v in edges]
         return sum(future.result() for future in futures)
 
     def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        self._ensure_open()
         futures = [self._service.delete_edge(u, v) for u, v in edges]
         return sum(future.result() for future in futures)
 
     def has_edges(self, edges: Iterable[tuple[int, int]]) -> list[bool]:
+        self._ensure_open()
         futures = [self._service.has_edge(u, v) for u, v in edges]
         return [future.result() for future in futures]
 
     def successors_many(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        self._ensure_open()
         ordered = list(dict.fromkeys(nodes))
         futures = [self._service.successors(u) for u in ordered]
         return {u: future.result() for u, future in zip(ordered, futures)}
@@ -123,18 +193,23 @@ class GraphClient(DynamicGraphStore):
     # ------------------------------------------------------------------ #
 
     def bfs(self, source: int, **kwargs) -> list[int]:
+        self._ensure_open()
         return self._service.analytics("bfs", source, **kwargs).result()
 
     def sssp(self, source: int, **kwargs) -> dict[int, float]:
+        self._ensure_open()
         return self._service.analytics("sssp", source, **kwargs).result()
 
     def pagerank(self, **kwargs) -> dict[int, float]:
+        self._ensure_open()
         return self._service.analytics("pagerank", **kwargs).result()
 
     def components(self, **kwargs) -> list[list[int]]:
+        self._ensure_open()
         return self._service.analytics("components", **kwargs).result()
 
     def top_degree_nodes(self, count: int, **kwargs) -> list[int]:
+        self._ensure_open()
         return self._service.analytics("top_degree_nodes", count, **kwargs).result()
 
     # ------------------------------------------------------------------ #

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from ..core.errors import StoreClosedError
+
 
 class ServiceError(RuntimeError):
     """Base class for errors raised by :mod:`repro.service`."""
@@ -15,9 +17,14 @@ class QueueFullError(ServiceError):
     """
 
 
-class ServiceClosedError(ServiceError):
+class ServiceClosedError(ServiceError, StoreClosedError):
     """Raised when a request is submitted to a closed service.
 
     Also delivered to blocked submitters when the service closes underneath
     them, so a ``policy="block"`` caller never hangs across shutdown.
+
+    Subclasses :class:`~repro.core.errors.StoreClosedError` so the whole
+    stack signals "terminal close" uniformly: code written against the
+    store contract can catch ``StoreClosedError`` whether the closed thing
+    is a sharded front-end, a persistent wrapper or a service facade.
     """

@@ -77,6 +77,7 @@ class ServiceMetrics:
         self.batched_requests = 0
         self.max_batch_size = 0
         self.store_batch_calls = 0
+        self.group_commits = 0
         self._latency = LatencyRecorder()
 
     # -- submission side ------------------------------------------------ #
@@ -112,6 +113,11 @@ class ServiceMetrics:
         with self._lock:
             self.cancelled += 1
 
+    def record_commit(self) -> None:
+        """One durability group commit (``durability="batch"`` mode)."""
+        with self._lock:
+            self.group_commits += 1
+
     # -- reporting ------------------------------------------------------- #
 
     def summary(self) -> Dict[str, object]:
@@ -131,5 +137,6 @@ class ServiceMetrics:
                 "mean_batch_size": mean_batch,
                 "max_batch_size": self.max_batch_size,
                 "store_batch_calls": self.store_batch_calls,
+                "group_commits": self.group_commits,
                 "latency": self._latency.summary(),
             }

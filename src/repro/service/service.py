@@ -58,7 +58,7 @@ from ..analytics import (
 from ..core.sharded import ShardedCuckooGraph
 from ..interfaces import DynamicGraphStore
 from .batcher import Request, gather_window, split_runs
-from .errors import QueueFullError, ServiceClosedError
+from .errors import QueueFullError, ServiceClosedError, ServiceError
 from .metrics import ServiceMetrics
 from .queue import POLICIES, BoundedRequestQueue
 
@@ -71,6 +71,11 @@ ANALYTICS_HANDLERS: Dict[str, Callable] = {
     "components": strongly_connected_components,
     "top_degree_nodes": top_degree_nodes,
 }
+
+#: Durability modes: ``"none"`` leaves persistence entirely to the store;
+#: ``"batch"`` turns every dispatched mutation run into one group commit
+#: (``store.sync()``) *before* the run's futures resolve.
+DURABILITY_MODES = ("none", "batch")
 
 
 class GraphService:
@@ -88,6 +93,14 @@ class GraphService:
         queue_capacity: Bound on queued (undispatched) requests.
         policy: Backpressure policy, ``"block"`` or ``"reject"``.
         own_store: Force (or forbid) closing the store on :meth:`close`.
+        durability: ``"none"`` (default) or ``"batch"``.  With ``"batch"``
+            the store must expose a ``sync()`` durability point (a
+            :class:`~repro.persist.PersistentStore`, typically constructed
+            with ``sync_on_commit=False``); the dispatcher then calls it
+            once per mutation run, after the batch store calls and before
+            any of the run's futures resolve -- many client operations, one
+            group commit (an fsync only per WAL segment the run actually
+            touched), which is the whole point of group commit.
 
     Example:
         >>> with GraphService() as service:
@@ -105,6 +118,7 @@ class GraphService:
         queue_capacity: int = 1024,
         policy: str = "block",
         own_store: Optional[bool] = None,
+        durability: str = "none",
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -112,14 +126,30 @@ class GraphService:
             raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
+            )
         self._own_store = store is None if own_store is None else own_store
         self.store = store if store is not None else ShardedCuckooGraph(num_shards=4)
+        self.durability = durability
+        if durability == "batch":
+            sync = getattr(self.store, "sync", None)
+            if not callable(sync):
+                raise ValueError(
+                    'durability="batch" needs a store with a sync() durability '
+                    "point (wrap it in repro.persist.PersistentStore)"
+                )
+            self._durable_sync: Optional[Callable[[], None]] = sync
+        else:
+            self._durable_sync = None
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self._queue = BoundedRequestQueue(capacity=queue_capacity, policy=policy)
         self.metrics = ServiceMetrics()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._durability_failed: Optional[Exception] = None
         self._lifecycle_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -135,6 +165,17 @@ class GraphService:
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
+
+    @property
+    def durability_failed(self) -> Optional[Exception]:
+        """The fsync error that fail-stopped a ``durability="batch"`` service.
+
+        ``None`` while the durable path is healthy.  Once set, submissions
+        raise :class:`~repro.service.errors.ServiceError`; the right move
+        is to close the service and :func:`repro.persist.recover` the store
+        directory, whose contents are exactly the commits that fsynced.
+        """
+        return self._durability_failed
 
     def start(self) -> "GraphService":
         """Launch the dispatcher thread (idempotent until closed)."""
@@ -204,6 +245,11 @@ class GraphService:
                 )
         if self._closed:
             raise ServiceClosedError("GraphService is closed")
+        if self._durability_failed is not None:
+            raise ServiceError(
+                "durability group commit failed earlier; the service is "
+                "fail-stopped (close it, then recover the store from disk)"
+            ) from self._durability_failed
         request = Request(kind, payload)
         try:
             self._queue.put(request)
@@ -280,6 +326,23 @@ class GraphService:
                 request.future.set_exception(exc)
                 self.metrics.record_failed(now - request.enqueued_at)
             return
+        if self._durable_sync is not None and kind in ("insert", "delete"):
+            # Group commit: the whole run becomes durable before any of the
+            # callers' futures resolve.  An fsync failure is fail-stop: the
+            # run's callers get the error, and the service refuses further
+            # submissions -- fsync-failure semantics are murky enough
+            # (the OS may drop the unflushed write silently) that promising
+            # durability for anything after it would be a lie.
+            try:
+                self._durable_sync()
+            except Exception as exc:
+                self._durability_failed = exc
+                now = time.perf_counter()
+                for request in live:
+                    request.future.set_exception(exc)
+                    self.metrics.record_failed(now - request.enqueued_at)
+                return
+            self.metrics.record_commit()
         self.metrics.record_batch(len(live), store_calls=store_calls)
         now = time.perf_counter()
         for request, value in zip(live, results):

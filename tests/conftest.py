@@ -7,7 +7,7 @@ from collections import defaultdict
 
 import pytest
 
-from repro import CuckooGraph, ShardedCuckooGraph, WeightedCuckooGraph
+from repro import CuckooGraph, PersistentStore, ShardedCuckooGraph, WeightedCuckooGraph
 from repro.baselines import (
     AdjacencyListGraph,
     CSRGraph,
@@ -17,12 +17,20 @@ from repro.baselines import (
     SpruceStore,
     WindBellIndex,
 )
+from repro.integrations import Neo4jGraphStore, RedisGraphStore
 
 #: Every DynamicGraphStore implementation that must honour the common contract.
+#: The persistent wrapper runs ephemeral (``path=None``: a temporary directory
+#: removed on close/GC) and unsynced, so the matrix exercises its logging path
+#: without an fsync per operation; the durability guarantees themselves are
+#: covered by ``tests/persist``.
 ALL_STORE_FACTORIES = {
     "CuckooGraph": CuckooGraph,
     "WeightedCuckooGraph": WeightedCuckooGraph,
     "ShardedCuckooGraph": lambda: ShardedCuckooGraph(num_shards=4),
+    "PersistentStore": lambda: PersistentStore(
+        store=CuckooGraph(), sync_on_commit=False, own_store=True
+    ),
     "AdjacencyList": AdjacencyListGraph,
     "CSR": lambda: CSRGraph(rebuild_threshold=64),
     "LiveGraph": LiveGraphStore,
@@ -30,6 +38,8 @@ ALL_STORE_FACTORIES = {
     "Sortledton": SortledtonStore,
     "Spruce": SpruceStore,
     "WBI": lambda: WindBellIndex(matrix_size=16),
+    "MiniRedis": RedisGraphStore,
+    "MiniNeo4j": Neo4jGraphStore,
 }
 
 

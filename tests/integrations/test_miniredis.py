@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.errors import IntegrationError
-from repro.integrations import CuckooGraphModule, MiniRedisServer, RedisModule
+from repro.integrations import (
+    CuckooGraphModule,
+    MiniRedisServer,
+    RedisGraphStore,
+    RedisModule,
+)
 
 
 @pytest.fixture
@@ -130,3 +135,56 @@ class TestPersistence:
         replayed.load_module(CuckooGraphModule())
         replayed.replay_aof(rewritten)
         assert replayed.execute("GQUERY 7 8") == 5
+
+
+class TestRedisGraphStore:
+    """The DynamicGraphStore facade that puts mini-Redis in the store matrix."""
+
+    def test_distinct_edge_semantics_over_the_command_path(self):
+        store = RedisGraphStore()
+        assert store.insert_edge(1, 2) is True
+        assert store.insert_edge(1, 2) is False  # duplicate must not stack weight
+        assert store.delete_edge(1, 2) is True
+        assert store.delete_edge(1, 2) is False
+        assert not store.has_edge(1, 2)
+
+    def test_every_operation_pays_command_dispatch(self):
+        store = RedisGraphStore()
+        before = store.server.commands_processed
+        store.insert_edge(1, 2)     # probe + insert
+        store.has_edge(1, 2)        # probe
+        store.successors(1)         # neighbors
+        store.delete_edge(1, 2)     # probe + delete
+        assert store.server.commands_processed - before == 6
+
+    def test_spawn_empty_is_a_fresh_server(self):
+        store = RedisGraphStore()
+        store.insert_edge(1, 2)
+        fresh = store.spawn_empty()
+        assert fresh.num_edges == 0
+        assert fresh.server is not store.server
+        assert fresh.insert_edge(1, 2) is True
+        assert store.num_edges == 1
+
+    def test_requires_the_module(self):
+        with pytest.raises(IntegrationError):
+            RedisGraphStore(MiniRedisServer())
+
+    def test_wraps_a_preloaded_server(self):
+        server = MiniRedisServer()
+        server.load_module(CuckooGraphModule())
+        server.execute("GINSERT 4 5")
+        store = RedisGraphStore(server)
+        assert store.has_edge(4, 5)
+        assert sorted(store.edges()) == [(4, 5)]
+
+    def test_delete_drains_preloaded_weights(self):
+        """delete_edge True must mean removed, even over a weighted keyspace."""
+        server = MiniRedisServer()
+        server.load_module(CuckooGraphModule())
+        server.execute("GINSERT 4 5")
+        server.execute("GINSERT 4 5")  # weight 2, loaded outside the facade
+        store = RedisGraphStore(server)
+        assert store.delete_edge(4, 5) is True
+        assert not store.has_edge(4, 5)
+        assert store.num_edges == 0

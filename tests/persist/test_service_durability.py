@@ -1,0 +1,205 @@
+"""GraphService durability="batch": group commits, recovery, close alignment."""
+
+import pytest
+
+from repro import GraphClient, GraphService, ShardedCuckooGraph
+from repro.core.errors import StoreClosedError
+from repro.persist import PersistentStore, recover
+from repro.service import ServiceClosedError
+
+
+def durable_store(path, num_shards=3):
+    return PersistentStore(
+        path,
+        store=ShardedCuckooGraph(num_shards=num_shards),
+        sync_on_commit=False,
+        compact_wal_bytes=None,
+        own_store=True,
+    )
+
+
+class TestBatchDurability:
+    def test_requires_a_sync_capable_store(self):
+        with pytest.raises(ValueError, match="sync"):
+            GraphService(ShardedCuckooGraph(num_shards=2), durability="batch")
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="durability"):
+            GraphService(durability="eventually")
+
+    def test_each_mutation_run_is_one_group_commit(self, tmp_path):
+        edges = [(u, u + 1) for u in range(300)]
+        store = durable_store(tmp_path / "svc")
+        service = GraphService(store, max_batch=1024, queue_capacity=1024,
+                               own_store=True, durability="batch")
+        # Submit everything before starting: the dispatcher coalesces the
+        # stream into few windows, so commits must track runs, not ops.
+        futures = [service.insert_edge(u, v) for u, v in edges]
+        service.start()
+        assert sum(future.result(timeout=30) for future in futures) == len(edges)
+        summary = service.metrics_summary()
+        assert 1 <= summary["group_commits"] < len(edges)
+        # Each commit is one fsync per touched segment, not one per op.
+        assert store.persistence_summary()["wal_syncs"] < len(edges)
+        service.close()
+
+    def test_resolved_futures_survive_recovery(self, tmp_path):
+        edges = [(u, u + 1) for u in range(100)]
+        with GraphService(durable_store(tmp_path / "svc"), own_store=True,
+                          durability="batch") as service:
+            futures = [service.insert_edge(u, v) for u, v in edges]
+            for future in futures:
+                future.result(timeout=30)
+        recovered = recover(tmp_path / "svc",
+                            store=ShardedCuckooGraph(num_shards=3))
+        assert sorted(recovered.edges()) == sorted(edges)
+        recovered.close()
+
+    def test_mixed_traffic_recovers_to_final_state(self, tmp_path):
+        with GraphService(durable_store(tmp_path / "svc"), own_store=True,
+                          durability="batch") as service:
+            inserts = [service.insert_edge(u, v) for u, v in
+                       [(1, 2), (1, 3), (2, 3), (4, 5)]]
+            deletes = [service.delete_edge(1, 3), service.delete_edge(9, 9)]
+            for future in inserts + deletes:
+                future.result(timeout=30)
+            reads = service.has_edge(1, 2).result(timeout=30)
+            assert reads is True
+        recovered = recover(tmp_path / "svc",
+                            store=ShardedCuckooGraph(num_shards=3))
+        assert sorted(recovered.edges()) == [(1, 2), (2, 3), (4, 5)]
+        recovered.close()
+
+    def test_durable_client_end_to_end(self, tmp_path):
+        client = GraphClient.durable(path=tmp_path / "cli", num_shards=2)
+        assert client.insert_edges([(1, 2), (3, 4)]) == 2
+        assert client.service.durability == "batch"
+        client.close()
+        recovered = recover(tmp_path / "cli",
+                            store=ShardedCuckooGraph(num_shards=2))
+        assert sorted(recovered.edges()) == [(1, 2), (3, 4)]
+        recovered.close()
+
+    def test_ephemeral_durable_client_cleans_up(self):
+        client = GraphClient.durable(num_shards=2)
+        client.insert_edge(1, 2)
+        path = client.service.store.path
+        assert path.exists()
+        client.close()
+        assert not path.exists()
+
+
+class TestCloseAlignment:
+    """Post-close behaviour is StoreClosedError across the whole stack."""
+
+    def test_service_closed_error_is_a_store_closed_error(self):
+        assert issubclass(ServiceClosedError, StoreClosedError)
+        assert issubclass(ServiceClosedError, RuntimeError)  # legacy contract
+
+    def test_service_post_close_submissions(self):
+        service = GraphService()
+        service.start()
+        service.close()
+        with pytest.raises(StoreClosedError):
+            service.insert_edge(1, 2)
+        with pytest.raises(StoreClosedError):
+            service.analytics("bfs", 1)
+
+    def test_owning_client_post_close_operations(self):
+        client = GraphClient.local(num_shards=2)
+        client.insert_edge(1, 2)
+        client.close()
+        client.close()  # idempotent
+        assert client.closed
+        for operation in (
+            lambda: client.insert_edge(3, 4),
+            lambda: client.delete_edge(1, 2),
+            lambda: client.has_edge(1, 2),
+            lambda: client.successors(1),
+            lambda: client.insert_edges([(5, 6)]),
+            lambda: client.has_edges([(1, 2)]),
+            lambda: client.successors_many([1]),
+            lambda: client.bfs(1),
+        ):
+            with pytest.raises(StoreClosedError):
+                operation()
+        # Quiesced introspection still reads the underlying store.
+        assert client.num_edges == 1
+        assert sorted(client.edges()) == [(1, 2)]
+
+    def test_non_owning_client_close_is_also_terminal(self):
+        service = GraphService().start()
+        client = GraphClient(service)
+        client.insert_edge(1, 2)
+        client.close()
+        with pytest.raises(StoreClosedError):
+            client.insert_edge(3, 4)
+        # The shared service itself stays up for other clients.
+        assert service.running
+        other = GraphClient(service)
+        assert other.has_edge(1, 2)
+        service.close()
+
+
+class TestDurableClientReopen:
+    def test_durable_reopens_an_existing_directory(self, tmp_path):
+        """The same GraphClient.durable call works on first run and restart."""
+        first = GraphClient.durable(path=tmp_path / "cli", num_shards=2)
+        first.insert_edges([(1, 2), (3, 4)])
+        first.close()
+
+        second = GraphClient.durable(path=tmp_path / "cli", num_shards=2)
+        assert second.has_edge(1, 2) and second.has_edge(3, 4)
+        second.insert_edge(5, 6)
+        second.close()
+
+        third = GraphClient.durable(path=tmp_path / "cli", num_shards=2)
+        assert sorted(third.edges()) == [(1, 2), (3, 4), (5, 6)]
+        third.close()
+
+    def test_reopen_with_wrong_shard_count_is_refused(self, tmp_path):
+        from repro.core.errors import PersistenceError
+
+        client = GraphClient.durable(path=tmp_path / "cli", num_shards=2)
+        client.insert_edge(1, 2)
+        client.close()
+        with pytest.raises(PersistenceError):
+            GraphClient.durable(path=tmp_path / "cli", num_shards=4)
+
+
+class TestSyncFailureFailStop:
+    def test_sync_failure_fails_the_run_and_stops_the_service(self, tmp_path):
+        from repro.service import ServiceError
+
+        store = durable_store(tmp_path / "svc")
+        boom = OSError("fsync: no space left on device")
+
+        def failing_sync():
+            raise boom
+
+        store.sync = failing_sync  # simulate ENOSPC at the durability point
+        service = GraphService(store, own_store=True, durability="batch")
+        service.start()
+        future = service.insert_edge(1, 2)
+        with pytest.raises(OSError):
+            future.result(timeout=30)
+        # Fail-stop: the service refuses further submissions.  The flag is
+        # set by the dispatcher just before the future resolves, so it is
+        # already visible here.
+        assert service.durability_failed is boom
+        with pytest.raises(ServiceError, match="fail-stopped"):
+            service.insert_edge(3, 4)
+        service.close()
+
+    def test_open_or_create_round_trip(self, tmp_path):
+        from repro.persist import open_or_create
+
+        store = open_or_create(tmp_path / "s", store=ShardedCuckooGraph(num_shards=2),
+                               own_store=True)
+        store.insert_edge(1, 2)
+        store.close()
+        reopened = open_or_create(tmp_path / "s",
+                                  store=ShardedCuckooGraph(num_shards=2),
+                                  own_store=True)
+        assert reopened.has_edge(1, 2)
+        reopened.close()

@@ -1,0 +1,196 @@
+"""Write-ahead log: framing, group commits, torn tails, corruption."""
+
+import os
+
+import pytest
+
+from repro.core.errors import PersistenceError, WalCorruptError
+from repro.persist import (
+    DELETE,
+    INSERT,
+    INSERT_WEIGHTED,
+    WAL_HEADER_SIZE,
+    WAL_MAGIC,
+    WriteAheadLog,
+    decode_ops,
+    encode_ops,
+    read_wal,
+)
+
+BATCHES = [
+    [(INSERT, 1, 2), (INSERT, 1, 3)],
+    [(DELETE, 1, 2)],
+    [(INSERT_WEIGHTED, 4, 5, 7), (INSERT, -9, 2**62)],
+]
+
+
+def write_batches(path, batches, sync_on_commit=True):
+    wal = WriteAheadLog(path, sync_on_commit=sync_on_commit)
+    for batch in batches:
+        wal.append_batch(batch)
+    wal.close()
+    return path
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        for batch in BATCHES:
+            assert decode_ops(encode_ops(batch)) == batch
+
+    def test_negative_and_large_node_ids_survive(self):
+        ops = [(INSERT, -(2**63), 2**63 - 1)]
+        assert decode_ops(encode_ops(ops)) == ops
+
+    def test_unknown_tag_is_rejected_at_encode_time(self):
+        with pytest.raises(PersistenceError):
+            encode_ops([("upsert", 1, 2)])
+
+    def test_unknown_opcode_is_corruption(self):
+        with pytest.raises(WalCorruptError):
+            decode_ops(b"\xff" + b"\x00" * 16)
+
+    def test_truncated_op_is_corruption(self):
+        payload = encode_ops([(INSERT, 1, 2)])
+        with pytest.raises(WalCorruptError):
+            decode_ops(payload[:-1])
+
+
+class TestAppendAndRead:
+    def test_roundtrip(self, tmp_path):
+        path = write_batches(tmp_path / "wal.bin", BATCHES)
+        generation, batches, valid = read_wal(path)
+        assert generation == 0
+        assert batches == BATCHES
+        assert valid == path.stat().st_size
+
+    def test_missing_and_empty_files_read_as_nothing(self, tmp_path):
+        assert read_wal(tmp_path / "absent.bin") == (None, [], 0)
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        assert read_wal(empty) == (None, [], 0)
+
+    def test_header_written_once(self, tmp_path):
+        path = write_batches(tmp_path / "wal.bin", BATCHES)
+        assert path.read_bytes().startswith(WAL_MAGIC)
+        assert path.read_bytes().count(WAL_MAGIC) == 1
+
+    def test_append_resumes_an_existing_log(self, tmp_path):
+        path = write_batches(tmp_path / "wal.bin", BATCHES[:2])
+        write_batches(path, BATCHES[2:])
+        assert read_wal(path)[1] == BATCHES
+
+    def test_empty_batch_is_a_no_op(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        assert wal.append_batch([]) == 0
+        assert wal.records_appended == 0
+        # Lazy open: nothing was ever written, so no file either.
+        assert not (tmp_path / "wal.bin").exists()
+        wal.close()
+
+    def test_sync_accounting(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin", sync_on_commit=True)
+        for batch in BATCHES:
+            wal.append_batch(batch)
+        assert wal.syncs == len(BATCHES)
+
+        deferred = WriteAheadLog(tmp_path / "deferred.bin", sync_on_commit=False)
+        for batch in BATCHES:
+            deferred.append_batch(batch)
+        assert deferred.syncs == 0
+        deferred.sync()
+        assert deferred.syncs == 1
+        wal.close()
+        deferred.close()
+
+    def test_closed_wal_refuses_appends(self, tmp_path):
+        write_batches(tmp_path / "wal.bin", BATCHES[:1])
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(PersistenceError):
+            wal.append_batch(BATCHES[0])
+        with pytest.raises(PersistenceError):
+            wal.sync()
+
+    def test_truncate_resets_to_header_only(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        for batch in BATCHES:
+            wal.append_batch(batch)
+        wal.truncate(generation=3)
+        assert wal.size_bytes == WAL_HEADER_SIZE
+        wal.append_batch([(INSERT, 8, 9)])
+        wal.close()
+        assert read_wal(tmp_path / "wal.bin") == (3, [[(INSERT, 8, 9)]],
+                                                  wal.size_bytes)
+
+
+class TestTornAndCorrupt:
+    def test_torn_tail_at_every_byte_offset(self, tmp_path):
+        """Cutting the file anywhere keeps exactly the complete records."""
+        path = write_batches(tmp_path / "wal.bin", BATCHES)
+        data = path.read_bytes()
+        _, _, complete = read_wal(path)
+        assert complete == len(data)
+        for cut in range(len(data) + 1):
+            torn = tmp_path / "torn.bin"
+            torn.write_bytes(data[:cut])
+            generation, batches, valid = read_wal(torn)
+            assert generation == (0 if cut >= WAL_HEADER_SIZE else None)
+            # Number of records that fit entirely below the cut, and the
+            # byte offset where the last of them ends.
+            expected, offset = 0, WAL_HEADER_SIZE
+            for batch in BATCHES:
+                record_len = 8 + len(encode_ops(batch))
+                if offset + record_len <= cut:
+                    expected += 1
+                    offset += record_len
+                else:
+                    break
+            assert batches == BATCHES[:expected], f"cut={cut}"
+            assert valid == (offset if cut >= WAL_HEADER_SIZE else 0), f"cut={cut}"
+
+    def test_foreign_magic_is_corruption(self, tmp_path):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"NOTAWAL!" + b"\x00" * 32)
+        with pytest.raises(WalCorruptError):
+            read_wal(bad)
+
+    def test_mid_file_corruption_is_not_tolerated(self, tmp_path):
+        path = write_batches(tmp_path / "wal.bin", BATCHES)
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the *first* record: CRC fails before the tail.
+        data[WAL_HEADER_SIZE + 8] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptError):
+            read_wal(path)
+
+    def test_reopen_validates_magic(self, tmp_path):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"NOTAWAL!" + b"\x00" * 32)
+        wal = WriteAheadLog(bad)
+        with pytest.raises(WalCorruptError):
+            wal.append_batch([(INSERT, 1, 2)])
+
+    def test_fsync_actually_reaches_the_file(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin", sync_on_commit=True)
+        wal.append_batch(BATCHES[0])
+        # Without closing, the record must be visible to an independent reader.
+        assert read_wal(tmp_path / "wal.bin")[1] == BATCHES[:1]
+        assert os.path.getsize(tmp_path / "wal.bin") == wal.size_bytes
+        wal.close()
+
+
+class TestSyncSkipsCleanSegments:
+    def test_sync_is_a_no_op_with_nothing_buffered(self, tmp_path):
+        """Group commit must only pay fsyncs for segments the batch touched."""
+        wal = WriteAheadLog(tmp_path / "wal.bin", sync_on_commit=False)
+        wal.append_batch(BATCHES[0])
+        wal.sync()
+        assert wal.syncs == 1
+        wal.sync()           # clean: no new fsync
+        assert wal.syncs == 1
+        wal.append_batch(BATCHES[1])
+        wal.sync()
+        assert wal.syncs == 2
+        wal.close()          # clean again: close adds no fsync
+        assert wal.syncs == 2
