@@ -27,6 +27,7 @@ from .core import (
 )
 from .interfaces import DynamicGraphStore, WeightedGraphStore
 from .persist import PersistentStore, recover
+from .replicate import Follower, Primary, ReplicationGroup
 from .service import GraphClient, GraphService
 
 __version__ = "1.0.0"
@@ -35,11 +36,14 @@ __all__ = [
     "CuckooGraph",
     "CuckooGraphConfig",
     "DynamicGraphStore",
+    "Follower",
     "GraphClient",
     "GraphService",
     "MultiEdgeCuckooGraph",
     "PAPER_CONFIG",
     "PersistentStore",
+    "Primary",
+    "ReplicationGroup",
     "ShardedCuckooGraph",
     "WeightedCuckooGraph",
     "WeightedGraphStore",

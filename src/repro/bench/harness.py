@@ -56,14 +56,26 @@ SERVICE = "Ours-Service"
 #: measures the fsync/group-commit axis explicitly.
 DURABLE = "Ours-Durable"
 
+#: The replicated scheme: the durable service with read replicas.  Every
+#: mutation travels client -> service -> WAL-wrapped sharded store (one
+#: group commit per dispatched micro-batch), the primary's log is shipped
+#: to two followers, and read/analytics runs are served round-robin by the
+#: replicas under the read-your-writes barrier -- the full log-shipping
+#: path, end to end.  ``benchmarks/test_fig06e_replication`` measures the
+#: lag / fan-out / PITR axes explicitly.
+REPLICATED = "Ours-Replicated"
+
 #: Default shard count used when the sharded scheme is built by name.
 DEFAULT_SHARDS = 4
 
-#: Schemes that *are* CuckooGraph (single-instance, sharded, served or made
-#: durable).  The "CuckooGraph beats each competitor" shape checks iterate
-#: the complement of this set, so registering another of our own variants
-#: never turns it into a competitor.
-OURS_FAMILY = frozenset({OURS, SHARDED, SERVICE, DURABLE})
+#: Default replica count for the replicated scheme.
+DEFAULT_REPLICAS = 2
+
+#: Schemes that *are* CuckooGraph (single-instance, sharded, served, made
+#: durable or replicated).  The "CuckooGraph beats each competitor" shape
+#: checks iterate the complement of this set, so registering another of our
+#: own variants never turns it into a competitor.
+OURS_FAMILY = frozenset({OURS, SHARDED, SERVICE, DURABLE, REPLICATED})
 
 
 def _durable_store(config: Optional[CuckooGraphConfig] = None) -> PersistentStore:
@@ -80,6 +92,21 @@ def _durable_store(config: Optional[CuckooGraphConfig] = None) -> PersistentStor
         own_store=True,
     )
 
+
+def _replicated_client(config: Optional[CuckooGraphConfig] = None) -> GraphClient:
+    """Ephemeral replicated scheme: durable service + read replicas.
+
+    Group-commit durability (one fsync per dispatched micro-batch) with
+    compaction left at its default; reads are served by
+    :data:`DEFAULT_REPLICAS` followers under read-your-writes, so every
+    figure cell measures the complete replicated read path.
+    """
+    return GraphClient.durable(
+        num_shards=DEFAULT_SHARDS,
+        config=config,
+        replicas=DEFAULT_REPLICAS,
+    )
+
 #: Scheme name -> store factory, in the order the figures list them.
 #: WBI's bucket matrix is sized so that its edges-per-bucket load on the
 #: scaled datasets is in the same regime as the paper's full-size runs
@@ -93,6 +120,7 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
     SHARDED: lambda: ShardedCuckooGraph(num_shards=DEFAULT_SHARDS),
     SERVICE: lambda: GraphClient.local(num_shards=DEFAULT_SHARDS),
     DURABLE: _durable_store,
+    REPLICATED: _replicated_client,
     "WBI": lambda: COMPETITORS["WBI"](matrix_size=16),
 }
 
@@ -114,6 +142,8 @@ def build_store(scheme: str, config: Optional[CuckooGraphConfig] = None) -> Dyna
             return GraphClient.local(num_shards=DEFAULT_SHARDS, config=config)
         if scheme == DURABLE:
             return _durable_store(config)
+        if scheme == REPLICATED:
+            return _replicated_client(config)
     return SCHEMES[scheme]()
 
 

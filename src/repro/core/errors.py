@@ -68,6 +68,15 @@ class WalCorruptError(PersistenceError):
     """
 
 
+class ReplicationError(CuckooGraphError):
+    """Raised on misuse of the replication subsystem (:mod:`repro.replicate`).
+
+    Examples: applying through a promoted (or closed) follower, attaching a
+    follower whose store scheme cannot hold the primary's records, or a
+    read-your-writes barrier that times out before the follower catches up.
+    """
+
+
 class SnapshotCorruptError(PersistenceError):
     """Raised when a snapshot file fails its magic/length/checksum checks.
 

@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from .snapshot import (
+    CompactionEvent,
     CompactionPolicy,
     KIND_PLAIN,
     KIND_WEIGHTED,
@@ -30,6 +31,7 @@ from .snapshot import (
     fsync_directory,
     load_snapshot,
     read_snapshot,
+    snapshot_generation,
     snapshot_rows,
     write_snapshot,
 )
@@ -40,6 +42,7 @@ from .store import (
     PersistentStore,
     SNAPSHOT_NAME,
     STORE_SCHEMES,
+    apply_op,
     open_or_create,
     recover,
     register_scheme,
@@ -51,13 +54,16 @@ from .wal import (
     INSERT_WEIGHTED,
     WAL_HEADER_SIZE,
     WAL_MAGIC,
+    WalPosition,
     WriteAheadLog,
     decode_ops,
     encode_ops,
     read_wal,
+    read_wal_records,
 )
 
 __all__ = [
+    "CompactionEvent",
     "CompactionPolicy",
     "DELETE",
     "INSERT",
@@ -73,7 +79,9 @@ __all__ = [
     "STORE_SCHEMES",
     "WAL_HEADER_SIZE",
     "WAL_MAGIC",
+    "WalPosition",
     "WriteAheadLog",
+    "apply_op",
     "decode_ops",
     "encode_ops",
     "fsync_directory",
@@ -81,9 +89,11 @@ __all__ = [
     "open_or_create",
     "read_snapshot",
     "read_wal",
+    "read_wal_records",
     "recover",
     "register_scheme",
     "replay_into",
+    "snapshot_generation",
     "snapshot_rows",
     "write_snapshot",
 ]

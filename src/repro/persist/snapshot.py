@@ -33,9 +33,9 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..core.errors import SnapshotCorruptError
 from ..interfaces import DynamicGraphStore
@@ -119,6 +119,25 @@ def read_snapshot(path: os.PathLike | str) -> Tuple[int, int, List[tuple]]:
     return kind, generation, rows
 
 
+def snapshot_generation(path: os.PathLike | str) -> int:
+    """The checkpoint generation stamped in a snapshot's header (0 if absent).
+
+    Reads only the fixed header -- the body checksum is left to
+    :func:`read_snapshot` -- so cursor/position validation against the
+    current checkpoint baseline stays cheap on large snapshots.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with open(path, "rb") as file:
+        head = file.read(len(SNAPSHOT_MAGIC) + _HEADER.size)
+    if head[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise SnapshotCorruptError(f"{path} does not start with a snapshot magic header")
+    if len(head) < len(SNAPSHOT_MAGIC) + _HEADER.size:
+        raise SnapshotCorruptError(f"{path} is shorter than a snapshot header")
+    return _HEADER.unpack_from(head, len(SNAPSHOT_MAGIC))[2]
+
+
 def load_snapshot(path: os.PathLike | str, store: DynamicGraphStore) -> Tuple[int, int]:
     """Load a snapshot into a fresh ``store``; return ``(rows, generation)``.
 
@@ -149,15 +168,62 @@ def load_snapshot(path: os.PathLike | str, store: DynamicGraphStore) -> Tuple[in
 
 
 @dataclass(frozen=True)
+class CompactionEvent:
+    """What a checkpoint is about to fold away, reported *before* truncation.
+
+    A WAL tailer (a replication primary, an incremental
+    :func:`~repro.persist.store.replay_into` probe) keeps a byte position
+    into each segment; truncation moves the segments out from under that
+    position.  This event closes the window: it fires after the store state
+    is final for the checkpoint but before the snapshot rename and the
+    segment truncations, carrying the generation the segments still hold
+    (``generation``), the generation the checkpoint will commit
+    (``new_generation``), and the pre-truncation end offset of every
+    segment (``wal_offsets``, buffered-but-unsynced appends included) -- so
+    a subscriber can ship or fold everything up to those offsets and then
+    treat the generation bump as a clean cursor reset instead of silently
+    losing its position mid-stream.
+    """
+
+    path: Path
+    generation: int
+    new_generation: int
+    wal_offsets: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class CompactionPolicy:
     """When to fold the WAL into a snapshot and truncate it.
 
     ``max_wal_bytes=None`` disables compaction (the log grows forever,
     which the crash-recovery tests rely on to keep every commit visible).
+
+    Subscribers registered with :meth:`subscribe` are called with a
+    :class:`CompactionEvent` every time a checkpoint is about to truncate
+    the WAL -- threshold-triggered *and* explicit
+    :meth:`~repro.persist.store.PersistentStore.checkpoint` calls both --
+    which is how a log tailer keeps its cursor valid across compactions.
     """
 
     max_wal_bytes: Optional[int] = 1 << 20
+    subscribers: List[Callable[[CompactionEvent], None]] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     def should_compact(self, wal_bytes: int) -> bool:
         """Whether a log of ``wal_bytes`` total bytes warrants compaction."""
         return self.max_wal_bytes is not None and wal_bytes > self.max_wal_bytes
+
+    def subscribe(self, callback: Callable[[CompactionEvent], None]) -> None:
+        """Register ``callback`` to run before every WAL truncation."""
+        self.subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[CompactionEvent], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe` (idempotent)."""
+        if callback in self.subscribers:
+            self.subscribers.remove(callback)
+
+    def notify(self, event: CompactionEvent) -> None:
+        """Deliver ``event`` to every subscriber, in registration order."""
+        for callback in list(self.subscribers):
+            callback(event)

@@ -44,13 +44,21 @@ from ..core.graph import CuckooGraph
 from ..core.sharded import ShardedCuckooGraph
 from ..core.weighted import WeightedCuckooGraph
 from ..interfaces import DynamicGraphStore
-from .snapshot import CompactionPolicy, fsync_directory, load_snapshot, write_snapshot
+from .snapshot import (
+    CompactionEvent,
+    CompactionPolicy,
+    fsync_directory,
+    load_snapshot,
+    snapshot_generation,
+    write_snapshot,
+)
 from .wal import (
     DELETE,
     INSERT,
     INSERT_WEIGHTED,
     Op,
     WAL_HEADER_SIZE,
+    WalPosition,
     WriteAheadLog,
     read_wal_records,
 )
@@ -303,6 +311,31 @@ class PersistentStore(DynamicGraphStore):
         return self._store
 
     @property
+    def generation(self) -> int:
+        """The current checkpoint generation (bumped by every compaction)."""
+        return self._generation
+
+    @property
+    def segments(self) -> int:
+        """Number of WAL segments (one per shard of a sharded store)."""
+        return self._segments
+
+    @property
+    def segment_paths(self) -> List[Path]:
+        """The WAL segment files, in segment order."""
+        return [self._path / _segment_name(index) for index in range(self._segments)]
+
+    @property
+    def compaction_policy(self) -> CompactionPolicy:
+        """The store's compaction policy -- subscribe here to observe truncations."""
+        return self._policy
+
+    @property
+    def scheme_name(self) -> Optional[str]:
+        """Registered scheme name recorded in the manifest (``None`` if untracked)."""
+        return self._scheme_name
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
@@ -398,6 +431,14 @@ class PersistentStore(DynamicGraphStore):
         """Total WAL size across segments (header bytes included)."""
         return sum(wal.size_bytes for wal in self._wals)
 
+    def wal_segment_sizes(self) -> List[int]:
+        """Per-segment log end offsets, buffered (unflushed) appends included.
+
+        A tailer compares these with its cursor to decide whether it has
+        truly consumed the log or is merely waiting on an unflushed tail.
+        """
+        return [wal.size_bytes for wal in self._wals]
+
     def checkpoint(self) -> int:
         """Snapshot the wrapped store and truncate the WAL; return rows written.
 
@@ -409,6 +450,17 @@ class PersistentStore(DynamicGraphStore):
         """
         self._ensure_writable()
         generation = self._generation + 1
+        # Pre-truncation event: tailers (replication primaries, incremental
+        # probes) must flush their cursors up to these offsets before the
+        # segments are cut out from under them.  ``size_bytes`` counts
+        # buffered-but-unsynced appends too, which is exactly what the
+        # snapshot below will fold in.
+        self._policy.notify(CompactionEvent(
+            path=self._path,
+            generation=self._generation,
+            new_generation=generation,
+            wal_offsets=tuple(wal.size_bytes for wal in self._wals),
+        ))
         rows = write_snapshot(self._path / SNAPSHOT_NAME, self._store,
                               generation=generation)
         for wal in self._wals:
@@ -579,7 +631,8 @@ class _PoisonedTail(Exception):
     """
 
 
-def _apply_op(store: DynamicGraphStore, op: Op) -> None:
+def apply_op(store: DynamicGraphStore, op: Op) -> None:
+    """Apply one decoded WAL operation tuple to ``store``."""
     tag = op[0]
     if tag == INSERT:
         store.insert_edge(op[1], op[2])
@@ -653,7 +706,7 @@ def _replay_segment(path: Path, store: DynamicGraphStore,
     for index, (batch, end) in enumerate(records):
         try:
             for op in batch:
-                _apply_op(store, op)
+                apply_op(store, op)
         except Exception as error:
             if index == len(records) - 1:
                 # The final commit's apply fails deterministically -- the
@@ -673,6 +726,78 @@ def _replay_segment(path: Path, store: DynamicGraphStore,
     return {"batches": len(records), "ops": ops}
 
 
+def _rewind_to(path: Path, segment_paths: List[Path],
+               upto: Union[int, WalPosition]) -> None:
+    """Point-in-time rewind: truncate the WAL to an exact group-commit cut.
+
+    ``upto`` is either a global group-commit **index** -- records are
+    counted in canonical segment-major order (all of segment 0's records,
+    then segment 1's, ...), which for a single-segment store is exactly
+    append order -- or a :class:`~repro.persist.wal.WalPosition` carrying
+    one byte offset per segment (exact for sharded stores too: segments
+    route disjoint source nodes, so any per-segment prefix set is a
+    consistent state).  Everything past the cut is truncated away, reusing
+    the torn-tail machinery: the subsequent replay simply never sees the
+    dropped records.  Indices are relative to the current checkpoint
+    baseline (the snapshot is commit 0); a position taken before a
+    compaction, a cut past the end of the log, or an offset that is not a
+    record boundary is refused before any byte is touched.
+    """
+    baseline = snapshot_generation(path / SNAPSHOT_NAME)
+    cuts: List[Optional[int]] = []
+    if isinstance(upto, WalPosition):
+        if len(upto.offsets) != len(segment_paths):
+            raise PersistenceError(
+                f"position covers {len(upto.offsets)} segment(s) but {path} "
+                f"holds {len(segment_paths)}"
+            )
+        if upto.generation != baseline:
+            raise PersistenceError(
+                f"{path}: position was taken at generation {upto.generation} "
+                f"but the snapshot baseline is {baseline}; a compaction has "
+                f"folded the records it points into"
+            )
+        for segment, offset in zip(segment_paths, upto.offsets):
+            generation, records, _ = read_wal_records(segment)
+            if generation is not None and generation != baseline:
+                raise PersistenceError(
+                    f"{segment} is stamped generation {generation}, not the "
+                    f"snapshot baseline {baseline}; recover() it plainly first"
+                )
+            boundaries = {WAL_HEADER_SIZE} | {end for _, end in records}
+            if offset not in boundaries:
+                raise PersistenceError(
+                    f"{segment}: offset {offset} is not a group-commit "
+                    f"boundary of the on-disk log"
+                )
+            cuts.append(offset if segment.exists() else None)
+    else:
+        if upto < 0:
+            raise PersistenceError(f"upto must be >= 0, got {upto}")
+        remaining = int(upto)
+        for segment in segment_paths:
+            generation, records, _ = read_wal_records(segment)
+            if generation is not None and generation != baseline:
+                raise PersistenceError(
+                    f"{segment} is stamped generation {generation}, not the "
+                    f"snapshot baseline {baseline}; recover() it plainly first"
+                )
+            take = min(remaining, len(records))
+            remaining -= take
+            cut = records[take - 1][1] if take else WAL_HEADER_SIZE
+            cuts.append(cut if segment.exists() else None)
+        if remaining > 0:
+            raise PersistenceError(
+                f"{path} holds only {upto - remaining} group commit(s) past "
+                f"the snapshot; cannot rewind to index {upto}"
+            )
+    for segment, cut in zip(segment_paths, cuts):
+        if cut is None or segment.stat().st_size <= cut:
+            continue
+        with open(segment, "rb+") as file:
+            file.truncate(cut)
+
+
 def recover(
     path: Union[str, Path],
     scheme: Optional[Union[str, Callable[[], DynamicGraphStore]]] = None,
@@ -682,6 +807,7 @@ def recover(
     compact_wal_bytes: Optional[int] = 1 << 20,
     parallel: bool = False,
     own_store: Optional[bool] = None,
+    upto: Optional[Union[int, WalPosition]] = None,
 ) -> PersistentStore:
     """Rebuild a :class:`PersistentStore` from its directory.
 
@@ -698,6 +824,15 @@ def recover(
     ``own_store`` forces (or forbids) the returned wrapper closing the
     store on ``close``; by default the wrapper owns the store exactly when
     this function built it.
+
+    ``upto`` is point-in-time recovery: rewind the directory to an exact
+    group-commit cut -- an integer index (the snapshot is commit 0; exact
+    append order for single-segment stores, canonical segment-major order
+    otherwise) or a :class:`~repro.persist.wal.WalPosition` (exact for any
+    segmentation) -- before replaying.  The rewind is **destructive**, the
+    same way torn-tail truncation is: the records past the cut are gone,
+    and the returned store appends from the recovered point.  Recover a
+    *copy* of the directory to keep the full history.
     """
     path = Path(path)
     if not (path / MANIFEST_NAME).exists():
@@ -731,6 +866,8 @@ def recover(
     try:
         started = time.perf_counter()
         segment_paths = [path / _segment_name(index) for index in range(segments)]
+        if upto is not None:
+            _rewind_to(path, segment_paths, upto)
         retries = 0
         while True:
             try:
@@ -806,38 +943,99 @@ def open_or_create(
     return PersistentStore(path, store=store, scheme=scheme, **kwargs)
 
 
-def replay_into(path: Union[str, Path], store: DynamicGraphStore) -> Dict[str, int]:
-    """Read-only replay of a store directory into an empty ``store``.
+def replay_into(
+    path: Union[str, Path],
+    store: DynamicGraphStore,
+    *,
+    cursor: Optional[WalPosition] = None,
+) -> Dict[str, object]:
+    """Read-only replay of a store directory into ``store``.
 
     The online-inspection counterpart of :func:`recover`: it takes no lock,
     never truncates, and never opens a segment for append, so it is safe to
     run against a **live, synced** writer (call the live store's ``sync()``
     first; unsynced buffered records are simply not visible yet).  Torn
     tails are skipped, stale (pre-snapshot-generation) segments are ignored,
-    and the stats dict mirrors ``last_recovery``.
+    and the stats dict mirrors ``last_recovery`` plus a ``"position"`` key:
+    the :class:`~repro.persist.wal.WalPosition` the replay ended at.
+
+    Passing that position back as ``cursor`` makes the next probe
+    **incremental**: ``store`` is then the *same* (already populated) store
+    the previous call filled, the snapshot is not reloaded, and each
+    segment is read from its cursor offset instead of byte 0 -- a polling
+    probe pays for the new records only.  A compaction between probes moves
+    the log out from under the cursor; that is detected via the generation
+    stamp and raises :class:`~repro.core.errors.PersistenceError` (restart
+    with a fresh store -- or subscribe to the live store's
+    ``compaction_policy`` to drain the log just before it is truncated).
     """
     path = Path(path)
     if not (path / MANIFEST_NAME).exists():
         raise PersistenceError(f"{path} has no {MANIFEST_NAME}; nothing to replay")
     segments = _read_manifest(path)["segments"]
-    if store.num_edges != 0:
+    if cursor is None and store.num_edges != 0:
         raise PersistenceError("replay target store must be empty")
     if segments != _segmentation_of(store):
         raise PersistenceError(
             f"{path} holds {segments} WAL segment(s) but the replay store "
             f"routes over {_segmentation_of(store)}; shard counts must match"
         )
-    snapshot_rows, generation = load_snapshot(path / SNAPSHOT_NAME, store)
+    if cursor is not None and len(cursor.offsets) != segments:
+        raise PersistenceError(
+            f"cursor covers {len(cursor.offsets)} segment(s) but {path} "
+            f"holds {segments}"
+        )
+    if cursor is None:
+        snapshot_rows, generation = load_snapshot(path / SNAPSHOT_NAME, store)
+    else:
+        snapshot_rows, generation = 0, cursor.generation
+        baseline = snapshot_generation(path / SNAPSHOT_NAME)
+        if baseline != cursor.generation:
+            raise PersistenceError(
+                f"{path}: cursor is at generation {cursor.generation} but the "
+                f"snapshot baseline is {baseline}; a compaction folded the "
+                f"records past the cursor (restart the probe from scratch)"
+            )
     batches = ops = 0
+    offsets: List[int] = []
     for index in range(segments):
         segment = path / _segment_name(index)
-        seg_generation, records, _ = read_wal_records(segment)
-        if seg_generation is not None and seg_generation < generation:
-            continue  # folded into the snapshot by an interrupted checkpoint
+        from_offset = None
+        if cursor is not None:
+            from_offset = max(cursor.offsets[index], WAL_HEADER_SIZE)
+            if not segment.exists():
+                offsets.append(WAL_HEADER_SIZE)
+                continue
+        seg_generation, records, valid_length = read_wal_records(
+            segment, from_offset=from_offset,
+            expected_generation=None if cursor is None else generation)
+        if seg_generation is None:
+            # Segment missing or torn at create: no complete header yet, so
+            # no records either; the cursor stays at the header boundary.
+            offsets.append(WAL_HEADER_SIZE)
+            continue
+        if seg_generation < generation:
+            # Folded into the snapshot by an interrupted checkpoint (the
+            # next append heals the stamp): benign for a fresh probe and
+            # for an incremental one alike -- skip, don't wedge.
+            offsets.append(WAL_HEADER_SIZE)
+            continue
+        if cursor is not None and seg_generation > generation:
+            raise PersistenceError(
+                f"{segment} is stamped generation {seg_generation}, past the "
+                f"cursor's {generation}; a compaction moved the log under "
+                f"the probe (restart it from scratch)"
+            )
+        offsets.append(max(valid_length, WAL_HEADER_SIZE))
         _check_replay_compatible(segment, store, records)
         for record_ops, _ in records:
             for op in record_ops:
-                _apply_op(store, op)
+                apply_op(store, op)
             ops += len(record_ops)
             batches += 1
-    return {"snapshot_rows": snapshot_rows, "wal_batches": batches, "wal_ops": ops}
+    return {
+        "snapshot_rows": snapshot_rows,
+        "wal_batches": batches,
+        "wal_ops": ops,
+        "position": WalPosition(generation=generation, offsets=tuple(offsets)),
+    }

@@ -51,6 +51,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Tuple
 
@@ -97,6 +98,29 @@ _DECODERS = {
 
 #: An op tuple: ``("insert"|"delete", u, v)`` or ``("insert_w", u, v, delta)``.
 Op = tuple
+
+
+@dataclass(frozen=True)
+class WalPosition:
+    """An exact group-commit cut through a store directory's WAL segments.
+
+    ``offsets[i]`` is the absolute byte offset just past the last included
+    record of segment ``i`` (``WAL_HEADER_SIZE`` for "nothing included");
+    ``generation`` is the checkpoint generation the offsets are relative to
+    -- a position taken before a compaction is meaningless afterwards, and
+    consumers (:func:`~repro.persist.store.recover` with ``upto=``) refuse
+    it.  Because every operation on a source node lands in that node's own
+    segment, any per-segment prefix set is a consistent state: replaying the
+    segments up to these offsets, in any order, reproduces exactly the state
+    a follower had when it reported the position.
+    """
+
+    generation: int
+    offsets: Tuple[int, ...]
+
+    @property
+    def segments(self) -> int:
+        return len(self.offsets)
 
 
 def fsync_directory(directory: os.PathLike | str) -> None:
@@ -156,6 +180,8 @@ def decode_ops(payload: bytes) -> List[Op]:
 
 def read_wal_records(
     path: os.PathLike | str,
+    from_offset: int | None = None,
+    expected_generation: int | None = None,
 ) -> Tuple[int | None, List[Tuple[List[Op], int]], int]:
     """Read a WAL segment, tolerating a torn final record.
 
@@ -168,23 +194,63 @@ def read_wal_records(
     appending resumes.  A missing or empty file yields ``(None, [], 0)``; a
     partially written header (torn initial create) also yields
     ``(None, [], 0)``.  A *wrong* magic raises :class:`WalCorruptError`.
+
+    ``from_offset`` makes the read incremental: only the bytes past that
+    (absolute, record-boundary) offset are read from disk -- the header is
+    still consulted for the generation, but a tailer polling a growing
+    segment pays for the *new* records, not the whole file on every probe.
+    Record end offsets and ``valid_length`` stay absolute, so the returned
+    ``valid_length`` is the natural ``from_offset`` of the next poll.  An
+    offset past the current end of file returns no records and
+    ``valid_length == from_offset`` (nothing new yet).
+
+    A cursor offset is only meaningful at the generation it was taken:
+    compaction truncates the segment, and later appends can regrow it past
+    the old offset, where parsing would start mid-record.  Always pass the
+    cursor's generation as ``expected_generation`` alongside
+    ``from_offset``; when the header disagrees the call returns
+    ``(generation, [], from_offset)`` without touching record data, and
+    the caller resets its cursor for the new generation.
     """
     path = Path(path)
     if not path.exists():
         return None, [], 0
-    data = path.read_bytes()
-    if len(data) < len(WAL_MAGIC):
-        if WAL_MAGIC.startswith(data):
-            return None, [], 0  # torn header write: no commit ever completed
-        raise WalCorruptError(f"{path} does not start with a WAL magic header")
-    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
-        raise WalCorruptError(f"{path} has a foreign magic header")
-    if len(data) < WAL_HEADER_SIZE:
-        return None, [], 0  # generation stamp torn mid-create
-    generation = _GENERATION.unpack_from(data, len(WAL_MAGIC))[0]
+    with open(path, "rb") as file:
+        head = file.read(WAL_HEADER_SIZE)
+        if len(head) < len(WAL_MAGIC):
+            if WAL_MAGIC.startswith(head):
+                return None, [], 0  # torn header write: no commit ever completed
+            raise WalCorruptError(f"{path} does not start with a WAL magic header")
+        if head[: len(WAL_MAGIC)] != WAL_MAGIC:
+            raise WalCorruptError(f"{path} has a foreign magic header")
+        if len(head) < WAL_HEADER_SIZE:
+            return None, [], 0  # generation stamp torn mid-create
+        generation = _GENERATION.unpack_from(head, len(WAL_MAGIC))[0]
+        start = WAL_HEADER_SIZE
+        if from_offset is not None:
+            if from_offset < WAL_HEADER_SIZE:
+                raise PersistenceError(
+                    f"from_offset {from_offset} is inside the {path} header"
+                )
+            if expected_generation is not None and \
+                    generation != expected_generation:
+                # The cursor belongs to another generation: a compaction
+                # truncated the segment, and later appends may have regrown
+                # it past the old offset -- where parsing would start
+                # mid-record and misread payload bytes as framing.  Return
+                # the header verdict untouched; the caller resets.
+                return generation, [], from_offset
+            size = path.stat().st_size
+            if from_offset > size:
+                # The segment shrank (compaction truncated it); report
+                # "nothing new" -- the caller sees the generation and resets.
+                return generation, [], from_offset
+            file.seek(from_offset)
+            start = from_offset
+        data = file.read()
 
     records: List[Tuple[List[Op], int]] = []
-    offset = WAL_HEADER_SIZE
+    offset = 0
     total = len(data)
     while True:
         header_end = offset + _RECORD_HEADER.size
@@ -199,11 +265,12 @@ def read_wal_records(
             if payload_end == total:
                 break  # torn final record: checksum never completed
             raise WalCorruptError(
-                f"{path}: checksum mismatch in a non-final record at offset {offset}"
+                f"{path}: checksum mismatch in a non-final record at "
+                f"offset {start + offset}"
             )
-        records.append((decode_ops(payload), payload_end))
+        records.append((decode_ops(payload), start + payload_end))
         offset = payload_end
-    return generation, records, offset
+    return generation, records, start + offset
 
 
 def read_wal(path: os.PathLike | str) -> Tuple[int | None, List[List[Op]], int]:

@@ -1,0 +1,57 @@
+"""Replication subsystem: WAL shipping, read replicas, PITR, promotion.
+
+PR 4's durability subsystem made every store restartable from one ordered
+update log; this package makes that log the *replication stream*.  A
+:class:`Primary` tails the committed WAL records of a live
+:class:`~repro.persist.PersistentStore` (per-shard segments included) and
+ships them over a pluggable transport (in-process queues first; a socket
+transport plugs into the same seam); :class:`Follower` replicas apply the
+stream into a store of any registered scheme, expose a monotonic
+``commit_index`` plus a read-your-writes barrier (``wait_for``), and can
+be promoted into a standalone writable store whose bumped generation
+fences out the deposed primary's stale segments.  Point-in-time recovery
+rides the same machinery: ``recover(path, upto=...)`` rewinds a directory
+to an exact group-commit index or :class:`~repro.persist.WalPosition`.
+
+Quickstart::
+
+    from repro.persist import PersistentStore
+    from repro.replicate import Primary, Follower
+
+    primary_store = PersistentStore("/tmp/graph", scheme="sharded")
+    primary = Primary(primary_store)
+    replica = Follower(scheme="sharded")
+    primary.attach(replica)
+
+    primary_store.insert_edges([(1, 2), (1, 3)])
+    primary.sync_and_pump()
+    replica.wait_for(primary.commit_index)   # read-your-writes barrier
+    assert replica.store.has_edge(1, 2)
+"""
+
+from .follower import DEFAULT_BARRIER_TIMEOUT_S, Follower, apply_shipped_ops
+from .group import FRESHNESS_POLICIES, ReplicationGroup
+from .primary import Primary
+from .transport import (
+    GenerationBump,
+    InProcessChannel,
+    InProcessTransport,
+    RecordShipment,
+    ReplicationChannel,
+    ReplicationTransport,
+)
+
+__all__ = [
+    "DEFAULT_BARRIER_TIMEOUT_S",
+    "FRESHNESS_POLICIES",
+    "Follower",
+    "GenerationBump",
+    "InProcessChannel",
+    "InProcessTransport",
+    "Primary",
+    "RecordShipment",
+    "ReplicationChannel",
+    "ReplicationGroup",
+    "ReplicationTransport",
+    "apply_shipped_ops",
+]

@@ -1,0 +1,129 @@
+"""One primary, N followers: the deployment unit the service layer drives.
+
+:class:`ReplicationGroup` bundles the wiring every replicated deployment
+repeats -- build a :class:`~repro.replicate.Primary` over the durable
+store, spawn one empty replica store per follower (same scheme as the
+primary's wrapped structure, via ``spawn_empty``), attach them all -- and
+adds the two read-side policies the service exposes:
+
+* ``"read_your_writes"`` -- before a read is served, flush + pump the
+  primary and run the follower's :meth:`~repro.replicate.Follower.wait_for`
+  barrier to the primary's commit index, so the replica observes every
+  mutation dispatched before the read.
+* ``"any"`` -- pump what is already durable and apply whatever has
+  arrived; the replica may trail the primary (buffered commits are not
+  forced out), and the measured lag is reported per read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..interfaces import DynamicGraphStore
+from ..persist.store import PersistentStore
+from .follower import Follower
+from .primary import Primary
+from .transport import ReplicationTransport
+
+#: Read freshness policies a group (and the service layer) understands.
+FRESHNESS_POLICIES = ("any", "read_your_writes")
+
+
+class ReplicationGroup:
+    """A primary and its attached read replicas, with read routing."""
+
+    def __init__(
+        self,
+        store: PersistentStore,
+        replicas: int = 1,
+        *,
+        transport: Optional[ReplicationTransport] = None,
+        follower_factory: Optional[Callable[[], DynamicGraphStore]] = None,
+    ):
+        if replicas < 1:
+            raise ReplicationError(f"replicas must be >= 1, got {replicas}")
+        self._next_replica = 0
+        self._closed = False
+        self.primary = Primary(store, transport=transport)
+        factory = follower_factory or store.store.spawn_empty
+        self.followers: List[Follower] = []
+        try:
+            for _ in range(replicas):
+                follower = Follower(store=factory(), own_store=True)
+                self.primary.attach(follower)
+                self.followers.append(follower)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def replicas(self) -> int:
+        return len(self.followers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def next_follower(self) -> Tuple[Follower, int]:
+        """Round-robin pick of the replica that serves the next read."""
+        index = self._next_replica
+        self._next_replica = (index + 1) % len(self.followers)
+        return self.followers[index], index
+
+    def advance(self) -> int:
+        """Ship newly committed records and let every replica apply them.
+
+        The write-path counterpart of :meth:`refresh`: the service calls it
+        once per dispatched mutation run, so follower queues drain at the
+        pace of the traffic instead of accumulating the whole shipped
+        history between reads.  Returns the records shipped.
+        """
+        shipped = self.primary.pump()
+        if shipped:
+            for follower in self.followers:
+                follower.poll()
+        return shipped
+
+    def refresh(self, follower: Follower, freshness: str = "read_your_writes") -> int:
+        """Bring ``follower`` up to the chosen freshness; return its lag.
+
+        ``"read_your_writes"`` flushes buffered commits, pumps and runs the
+        barrier to the primary's commit index (returned lag is the distance
+        *closed* by the barrier -- how far the replica was trailing when
+        the read arrived).  ``"any"`` pumps only what is already flushed
+        and applies what has arrived, returning the remaining lag.
+        """
+        if freshness not in FRESHNESS_POLICIES:
+            raise ReplicationError(
+                f"freshness must be one of {FRESHNESS_POLICIES}, got {freshness!r}"
+            )
+        if freshness == "read_your_writes":
+            self.primary.sync_and_pump()
+            behind = follower.lag()
+            follower.wait_for(self.primary.commit_index)
+            return behind
+        self.primary.pump()
+        follower.poll()
+        # Honest staleness: count commits the log holds that the replica
+        # cannot have, including appends still buffered behind an fsync.
+        return max(0, self.primary.logged_commit_index - follower.commit_index)
+
+    def close(self) -> None:
+        """Close followers (and their spawned stores) and the primary.
+
+        The primary's *wrapped store* is left open -- whoever constructed
+        it (the service, a test) owns and closes it.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for follower in self.followers:
+            follower.close()
+        self.primary.close()
+
+    def __enter__(self) -> "ReplicationGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

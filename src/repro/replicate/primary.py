@@ -1,0 +1,306 @@
+"""The replication primary: tails its own WAL and ships committed records.
+
+The single-writer story stays exactly what PR 4 made it: one
+:class:`~repro.persist.PersistentStore` owns the directory, appends every
+group commit to the log, and holds the advisory lock.  :class:`Primary`
+adds no second writer -- it *tails* the same segments read-only with the
+incremental reader (:func:`~repro.persist.wal.read_wal_records` with
+``from_offset``), assigns each newly committed record a global, monotonic
+**commit index** in ship order, and fans it out to every attached follower
+over a pluggable transport.  Per-shard segments are tailed round-robin in
+segment order; because operations on a source node always land in that
+node's own segment, any interleave the tailer picks is a consistent order.
+
+Two invariants make the stream lossless:
+
+* **Attach is backfill + subscribe.**  ``attach`` first pumps the log to
+  its current end (so the cursor and the disk agree), then replays the
+  directory -- snapshot plus every shipped record -- straight into the
+  follower's store, stamps it with the current commit index and position,
+  and only then connects its channel.  A follower that crashed and lost
+  its state simply re-attaches with a fresh store.
+* **Compaction cannot outrun the tailer.**  The primary subscribes to the
+  store's :class:`~repro.persist.CompactionPolicy`; the pre-truncation
+  :class:`~repro.persist.CompactionEvent` makes it flush and ship
+  everything up to the reported offsets *before* the checkpoint folds
+  those records into the snapshot and truncates the segments.  The
+  generation bump the tailer then observes is a clean cursor reset, which
+  it forwards to followers as a :class:`~repro.replicate.transport.GenerationBump`.
+
+``pump`` is explicit and synchronous: call it after mutations (the service
+layer pumps once per dispatched mutation run), not from a second thread --
+a record appended but then compensated away by a failed apply must never
+be shipped, which is guaranteed exactly when pumping happens between store
+calls, not concurrently with them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.errors import ReplicationError
+from ..persist import WAL_HEADER_SIZE, WalPosition, load_snapshot, read_wal_records
+from ..persist.snapshot import CompactionEvent
+from ..persist.store import SNAPSHOT_NAME, PersistentStore
+from .follower import apply_shipped_ops
+from .transport import (
+    GenerationBump,
+    InProcessTransport,
+    RecordShipment,
+    ReplicationTransport,
+)
+
+
+class Primary:
+    """Log-shipping tailer over a live :class:`PersistentStore`.
+
+    Args:
+        store: The write side.  Must be a :class:`PersistentStore` -- the
+            WAL is the replication stream, so only a write-ahead-logged
+            store can be a primary.
+        transport: Channel factory; defaults to the in-process queue
+            transport.  This is the seam where a socket transport plugs in.
+    """
+
+    def __init__(self, store: PersistentStore,
+                 transport: Optional[ReplicationTransport] = None):
+        if not isinstance(store, PersistentStore):
+            raise ReplicationError(
+                f"a replication primary needs a PersistentStore (the WAL is "
+                f"the replication stream), got {type(store).__name__}"
+            )
+        self._store = store
+        self._transport = transport or InProcessTransport()
+        self._segment_paths = store.segment_paths
+        self._offsets: List[int] = [WAL_HEADER_SIZE] * store.segments
+        self._generation = store.generation
+        self._followers: List[object] = []  # Follower instances, fan-out order
+        self._closed = False
+        #: Group-commit records shipped so far, == the newest commit index.
+        self.commit_index = 0
+        #: pump() invocations that shipped at least one record.
+        self.pumps = 0
+        #: ``store.commits`` as of the last pump, for logged_commit_index.
+        self._commits_at_pump = store.commits
+        store.compaction_policy.subscribe(self._before_compaction)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def store(self) -> PersistentStore:
+        return self._store
+
+    @property
+    def path(self) -> Path:
+        return self._store.path
+
+    @property
+    def generation(self) -> int:
+        """Checkpoint generation the tail cursor is at."""
+        return self._generation
+
+    @property
+    def position(self) -> WalPosition:
+        """Exact per-segment cut of everything shipped so far."""
+        return WalPosition(generation=self._generation,
+                           offsets=tuple(self._offsets))
+
+    @property
+    def logged_commit_index(self) -> int:
+        """Commit index the *log* has reached, shipped or not.
+
+        ``commit_index`` counts shipped records; group commits the store
+        has logged since the last pump (including buffered appends an
+        unsynced store has not flushed yet) are ahead of the stream.  The
+        difference is the honest replication lag of a ``freshness="any"``
+        read: commits acknowledged to writers that a replica cannot have.
+        """
+        return self.commit_index + max(0, self._store.commits - self._commits_at_pump)
+
+    @property
+    def followers(self) -> Tuple[object, ...]:
+        return tuple(self._followers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Shipping
+    # ------------------------------------------------------------------ #
+
+    def _broadcast(self, message) -> None:
+        for follower in list(self._followers):
+            channel = follower._channel
+            if channel is None or channel.closed:
+                self._followers.remove(follower)  # died without detaching
+                continue
+            channel.send(message)
+
+    def _bump_generation(self, generation: int) -> None:
+        self._generation = generation
+        self._offsets = [WAL_HEADER_SIZE] * len(self._offsets)
+        self._broadcast(GenerationBump(commit_index=self.commit_index,
+                                       generation=generation))
+
+    def pump(self) -> int:
+        """Ship every record committed (flushed) since the last pump.
+
+        Returns the number of records shipped.  Only *complete, on-disk*
+        records travel: a buffered append the store has not flushed yet is
+        invisible (call the store's ``sync()`` first, or run the service's
+        group-commit durability which does), and a torn flush tail is left
+        for the next pump, exactly the way recovery would leave it.
+        """
+        if self._closed:
+            raise ReplicationError("primary is closed")
+        shipped = 0
+        sizes = self._store.wal_segment_sizes()
+        # Cheap in-memory gate for the read-heavy case: at the store's own
+        # generation, a segment whose cursor sits exactly at its
+        # (buffered-inclusive) end has neither new records nor a truncation
+        # to observe -- skip the file I/O.  After a checkpoint the generation
+        # guard keeps reading until the bump is handled, even if later
+        # appends bring the size back to exactly the stale cursor value.
+        same_generation = self._generation == self._store.generation
+        for index, segment in enumerate(self._segment_paths):
+            if same_generation and (
+                    self._offsets[index] == sizes[index] or
+                    (sizes[index] == 0 and self._offsets[index] == WAL_HEADER_SIZE)):
+                continue
+            generation, records, valid_length = read_wal_records(
+                segment, from_offset=self._offsets[index],
+                expected_generation=self._generation)
+            if generation is None:
+                continue  # never appended to (or torn at create): nothing yet
+            if generation != self._generation:
+                if generation < self._generation:
+                    # Stale pre-snapshot segment (healed by the next append);
+                    # its records are folded into the snapshot already.
+                    continue
+                # The store checkpointed: everything older was shipped by the
+                # pre-truncation hook, so this is a pure cursor reset.
+                self._bump_generation(generation)
+                generation, records, valid_length = read_wal_records(
+                    segment, from_offset=WAL_HEADER_SIZE,
+                    expected_generation=self._generation)
+            for ops, end_offset in records:
+                self.commit_index += 1
+                self._offsets[index] = end_offset
+                self._broadcast(RecordShipment(
+                    commit_index=self.commit_index,
+                    segment=index,
+                    generation=generation,
+                    ops=tuple(ops),
+                    end_offset=end_offset,
+                ))
+                shipped += 1
+            if valid_length > self._offsets[index]:
+                self._offsets[index] = valid_length
+        if shipped:
+            self.pumps += 1
+        if self._log_end_reached():
+            # Only a pump that truly consumed the log (no buffered tail
+            # pending behind an fsync) may declare the stream caught up;
+            # otherwise logged_commit_index keeps counting the gap.
+            self._commits_at_pump = self._store.commits
+        return shipped
+
+    def _log_end_reached(self) -> bool:
+        return all(
+            size == 0 or offset >= size
+            for offset, size in zip(self._offsets,
+                                    self._store.wal_segment_sizes())
+        )
+
+    def sync_and_pump(self) -> int:
+        """Flush the store's buffered commits, then ship them."""
+        self._store.sync()
+        return self.pump()
+
+    def _before_compaction(self, event: CompactionEvent) -> None:
+        """Pre-truncation hook: drain the log before the checkpoint folds it."""
+        if self._closed:
+            return
+        # The event's offsets include buffered appends; flush so the tailer
+        # can read them, then ship everything.  After this, truncation only
+        # removes records every follower channel already carries.
+        self._store.sync()
+        self.pump()
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def attach(self, follower) -> None:
+        """Backfill ``follower`` to the current commit index and subscribe it.
+
+        The follower's store must be empty: backfill replays the primary
+        directory (snapshot + every shipped record) into it, so a restarted
+        follower re-attaches with a fresh store and converges.  Records
+        committed after this call reach it through its channel.
+        """
+        if self._closed:
+            raise ReplicationError("primary is closed")
+        if follower in self._followers:
+            raise ReplicationError("follower is already attached")
+        self._store.sync()
+        self.pump()  # cursor == disk: the backfill below is exactly the stream
+        self._backfill(follower.store)
+        channel = self._transport.connect()
+        follower._connect(self, channel,
+                          commit_index=self.commit_index,
+                          generation=self._generation,
+                          offsets=tuple(self._offsets))
+        self._followers.append(follower)
+
+    def detach(self, follower) -> None:
+        """Stop shipping to ``follower`` (idempotent)."""
+        if follower in self._followers:
+            self._followers.remove(follower)
+        follower._disconnect()
+
+    def _backfill(self, store) -> None:
+        """Replay snapshot + shipped records into an empty follower store.
+
+        Deliberately not :func:`~repro.persist.replay_into`: the follower
+        may be *any* scheme (its own segmentation is irrelevant -- it never
+        logs), so only the logical stream is replayed.
+        """
+        if store.num_edges != 0:
+            raise ReplicationError(
+                "a follower must attach with an empty store; backfill "
+                "replays the primary's history into it"
+            )
+        load_snapshot(self.path / SNAPSHOT_NAME, store)
+        for index, segment in enumerate(self._segment_paths):
+            generation, records, _ = read_wal_records(segment)
+            if generation is None or generation < self._generation:
+                continue
+            limit = self._offsets[index]
+            for ops, end_offset in records:
+                if end_offset > limit:
+                    break  # committed after the cursor; ships via the channel
+                apply_shipped_ops(store, ops)
+
+    def close(self) -> None:
+        """Detach every follower and stop tailing.  Idempotent.
+
+        The wrapped store is left untouched (the primary never owned it);
+        followers keep their stores and can still be promoted.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._store.compaction_policy.unsubscribe(self._before_compaction)
+        for follower in list(self._followers):
+            self.detach(follower)
+
+    def __enter__(self) -> "Primary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,133 @@
+"""The wire between a replication primary and its followers.
+
+Log shipping needs surprisingly little from its transport: the primary
+fans each message out to every attached follower, a follower consumes its
+own totally ordered stream, and loss is handled by re-attaching (the
+primary backfills from disk).  :class:`ReplicationTransport` is that seam:
+``connect()`` yields a :class:`ReplicationChannel` -- ``send`` on the
+primary side, ``receive``/``drain`` on the follower side -- and the
+in-process implementation backs each channel with a plain queue.  A socket
+transport plugs in here later: the messages are flat, ``struct``-packable
+dataclasses (operation tuples, integers, no object graphs), so serialising
+them is the WAL encoder's job all over again.
+
+Message vocabulary:
+
+* :class:`RecordShipment` -- one WAL group-commit record: its global
+  ``commit_index`` in the primary's ship order, the segment it came from,
+  the segment's generation, the decoded operations, and the absolute byte
+  offset just past the record (what lets a follower report an exact
+  :class:`~repro.persist.wal.WalPosition` for point-in-time recovery).
+* :class:`GenerationBump` -- the primary checkpointed: segments were folded
+  into a snapshot and truncated.  Everything the snapshot folded was
+  shipped *before* this message (the compaction hook guarantees it), so a
+  follower's store state is untouched; only its position bookkeeping
+  resets to the new generation's empty segments.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.errors import ReplicationError
+
+
+@dataclass(frozen=True)
+class RecordShipment:
+    """One shipped WAL record (one group commit on the primary)."""
+
+    commit_index: int
+    segment: int
+    generation: int
+    ops: Tuple[tuple, ...]
+    end_offset: int
+
+
+@dataclass(frozen=True)
+class GenerationBump:
+    """The primary compacted: cursors reset to ``generation``'s fresh segments."""
+
+    commit_index: int
+    generation: int
+
+
+class ReplicationChannel:
+    """One primary-to-follower pipe (single producer, single consumer)."""
+
+    def send(self, message) -> None:
+        raise NotImplementedError
+
+    def receive(self, timeout: Optional[float] = None):
+        """Next message, blocking up to ``timeout``; ``None`` when dry."""
+        raise NotImplementedError
+
+    def drain(self) -> List[object]:
+        """Every message currently queued, without blocking."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class ReplicationTransport:
+    """Factory for channels; one per attached follower."""
+
+    def connect(self) -> ReplicationChannel:
+        raise NotImplementedError
+
+
+class InProcessChannel(ReplicationChannel):
+    """Queue-backed channel for followers living in the primary's process."""
+
+    def __init__(self, capacity: int = 0):
+        self._queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self._closed = False
+
+    def send(self, message) -> None:
+        if self._closed:
+            raise ReplicationError("cannot ship on a closed replication channel")
+        self._queue.put(message)
+
+    def receive(self, timeout: Optional[float] = None):
+        try:
+            if timeout is None:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain(self) -> List[object]:
+        messages: List[object] = []
+        while True:
+            try:
+                messages.append(self._queue.get_nowait())
+            except queue.Empty:
+                return messages
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class InProcessTransport(ReplicationTransport):
+    """In-process queue transport (the default; a socket transport's stand-in).
+
+    ``capacity`` bounds each follower's in-flight queue; 0 means unbounded,
+    which is the right default for an in-process pipe the primary also
+    drains synchronously during compaction.
+    """
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = capacity
+
+    def connect(self) -> InProcessChannel:
+        return InProcessChannel(capacity=self.capacity)

@@ -78,6 +78,10 @@ class ServiceMetrics:
         self.max_batch_size = 0
         self.store_batch_calls = 0
         self.group_commits = 0
+        self.replica_reads: Dict[int, int] = {}
+        self.replication_lag_samples = 0
+        self.replication_lag_total = 0
+        self.replication_lag_max = 0
         self._latency = LatencyRecorder()
 
     # -- submission side ------------------------------------------------ #
@@ -118,6 +122,16 @@ class ServiceMetrics:
         with self._lock:
             self.group_commits += 1
 
+    def record_replica_read(self, replica: int, lag: int) -> None:
+        """One read run routed to replica ``replica``, observed ``lag`` commits
+        behind the primary (for read-your-writes reads: the distance the
+        barrier had to close; for ``"any"`` reads: the staleness served)."""
+        with self._lock:
+            self.replica_reads[replica] = self.replica_reads.get(replica, 0) + 1
+            self.replication_lag_samples += 1
+            self.replication_lag_total += lag
+            self.replication_lag_max = max(self.replication_lag_max, lag)
+
     # -- reporting ------------------------------------------------------- #
 
     def summary(self) -> Dict[str, object]:
@@ -138,5 +152,14 @@ class ServiceMetrics:
                 "max_batch_size": self.max_batch_size,
                 "store_batch_calls": self.store_batch_calls,
                 "group_commits": self.group_commits,
+                "replication": {
+                    "replica_reads": dict(self.replica_reads),
+                    "lag_samples": self.replication_lag_samples,
+                    "lag_mean": (
+                        self.replication_lag_total / self.replication_lag_samples
+                        if self.replication_lag_samples else 0.0
+                    ),
+                    "lag_max": self.replication_lag_max,
+                },
                 "latency": self._latency.summary(),
             }

@@ -57,6 +57,8 @@ from ..analytics import (
 )
 from ..core.sharded import ShardedCuckooGraph
 from ..interfaces import DynamicGraphStore
+from ..persist.store import PersistentStore
+from ..replicate import FRESHNESS_POLICIES, ReplicationGroup
 from .batcher import Request, gather_window, split_runs
 from .errors import QueueFullError, ServiceClosedError, ServiceError
 from .metrics import ServiceMetrics
@@ -101,6 +103,19 @@ class GraphService:
             any of the run's futures resolve -- many client operations, one
             group commit (an fsync only per WAL segment the run actually
             touched), which is the whole point of group commit.
+        replicas: Number of read replicas (0 disables replication).  The
+            store must then be a :class:`~repro.persist.PersistentStore`:
+            the service builds a :class:`~repro.replicate.ReplicationGroup`
+            over its WAL and routes read runs (``has`` / ``successors``)
+            and analytics jobs round-robin across the followers, while
+            every mutation stays on the primary.  Per-replica read counts
+            and the observed replication lag land in :class:`ServiceMetrics`.
+        freshness: Read policy with ``replicas > 0``:
+            ``"read_your_writes"`` (default) runs the follower's barrier to
+            the primary's commit index before serving, so a client that saw
+            its mutation's future resolve always reads it back;
+            ``"any"`` serves whatever the replica has applied (durable
+            commits only), trading staleness for not forcing a flush.
 
     Example:
         >>> with GraphService() as service:
@@ -119,6 +134,8 @@ class GraphService:
         policy: str = "block",
         own_store: Optional[bool] = None,
         durability: str = "none",
+        replicas: int = 0,
+        freshness: str = "read_your_writes",
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -130,8 +147,21 @@ class GraphService:
             raise ValueError(
                 f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
             )
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        if freshness not in FRESHNESS_POLICIES:
+            raise ValueError(
+                f"freshness must be one of {FRESHNESS_POLICIES}, got {freshness!r}"
+            )
         self._own_store = store is None if own_store is None else own_store
         self.store = store if store is not None else ShardedCuckooGraph(num_shards=4)
+        self.freshness = freshness
+        if replicas and not isinstance(self.store, PersistentStore):
+            raise ValueError(
+                "replicas need a PersistentStore to ship the WAL from; "
+                "wrap the store in repro.persist.PersistentStore (or use "
+                "GraphClient.durable(replicas=...))"
+            )
         self.durability = durability
         if durability == "batch":
             sync = getattr(self.store, "sync", None)
@@ -151,6 +181,12 @@ class GraphService:
         self._closed = False
         self._durability_failed: Optional[Exception] = None
         self._lifecycle_lock = threading.Lock()
+        # Built last: every other argument has been validated by now, so a
+        # constructor failure can no longer leak followers (or leave an
+        # orphaned tailer subscribed to the store's compaction policy).
+        self._replication: Optional[ReplicationGroup] = (
+            ReplicationGroup(self.store, replicas=replicas) if replicas else None
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -165,6 +201,11 @@ class GraphService:
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
+
+    @property
+    def replication(self) -> Optional[ReplicationGroup]:
+        """The replication group (``None`` when ``replicas=0``)."""
+        return self._replication
 
     @property
     def durability_failed(self) -> Optional[Exception]:
@@ -210,6 +251,8 @@ class GraphService:
             for request in leftovers:
                 if request.future.cancel():
                     self.metrics.record_cancelled()
+        if self._replication is not None:
+            self._replication.close()
         if self._own_store:
             close = getattr(self.store, "close", None)
             if callable(close):
@@ -305,6 +348,21 @@ class GraphService:
             for kind, run in split_runs(window):
                 self._dispatch_run(kind, run)
 
+    def _read_store(self) -> DynamicGraphStore:
+        """The store a read run executes against.
+
+        With replicas, reads round-robin across the followers at the
+        configured freshness (the dispatcher thread drives the pump/barrier,
+        so replica state only ever advances between runs -- never while one
+        executes); without, the primary serves its own reads.
+        """
+        if self._replication is None:
+            return self.store
+        follower, index = self._replication.next_follower()
+        lag = self._replication.refresh(follower, self.freshness)
+        self.metrics.record_replica_read(index, lag)
+        return follower.store
+
     def _dispatch_run(self, kind: str, run: List[Request]) -> None:
         """Execute one same-kind run with batch store calls; resolve futures."""
         live = [r for r in run if r.future.set_running_or_notify_cancel()]
@@ -314,9 +372,19 @@ class GraphService:
         if not live:
             return
         if kind == "analytics":
+            try:
+                store = self._read_store()
+            except Exception as exc:
+                now = time.perf_counter()
+                for request in live:
+                    request.future.set_exception(exc)
+                    self.metrics.record_failed(now - request.enqueued_at)
+                return
+            # Counted only once the run is actually going to hit a store,
+            # matching the _execute_batch paths.
             self.metrics.record_batch(len(live), store_calls=len(live))
             for request in live:
-                self._run_analytics(request)
+                self._run_analytics(request, store)
             return
         try:
             results, store_calls = self._execute_batch(kind, live)
@@ -343,6 +411,12 @@ class GraphService:
                     self.metrics.record_failed(now - request.enqueued_at)
                 return
             self.metrics.record_commit()
+        if self._replication is not None and kind in ("insert", "delete"):
+            # Keep the replicas' queues draining at traffic pace: ship what
+            # this run committed (only flushed records travel) and let every
+            # follower apply it, so a write-heavy stretch never accumulates
+            # the whole history in the in-process channels.
+            self._replication.advance()
         self.metrics.record_batch(len(live), store_calls=store_calls)
         now = time.perf_counter()
         for request, value in zip(live, results):
@@ -353,16 +427,18 @@ class GraphService:
         """One run -> batch store calls -> per-request results.
 
         Returns ``(results, store_calls)``; results align with ``run``.
+        Read runs go through :meth:`_read_store` (a replica when the
+        service is replicated); mutation runs always hit the primary.
         """
-        store = self.store
         if kind == "has":
             edges = [r.payload for r in run]
-            return store.has_edges(edges), 1
+            return self._read_store().has_edges(edges), 1
         if kind == "successors":
             nodes = [r.payload for r in run]
-            fanned = store.successors_many(nodes)
+            fanned = self._read_store().successors_many(nodes)
             # Copy: two requests for the same node must not share one list.
             return [list(fanned[u]) for u in nodes], 1
+        store = self.store
         edges = [r.payload for r in run]
         present = store.has_edges(edges)
         if kind == "insert":
@@ -384,13 +460,20 @@ class GraphService:
             return results, 2
         raise AssertionError(f"unreachable kind {kind!r}")
 
-    def _run_analytics(self, request: Request) -> None:
-        """Analytics jobs execute one by one; exceptions stay per-request."""
+    def _run_analytics(self, request: Request,
+                       store: Optional[DynamicGraphStore] = None) -> None:
+        """Analytics jobs execute one by one; exceptions stay per-request.
+
+        ``store`` is the (possibly replica) store the run was routed to;
+        the whole job runs against that one consistent state.
+        """
         task, args, kwargs = request.payload
         handler = ANALYTICS_HANDLERS[task]
+        if store is None:
+            store = self.store
         try:
-            engine = TraversalEngine(self.store)
-            result = handler(self.store, *args, engine=engine, **kwargs)
+            engine = TraversalEngine(store)
+            result = handler(store, *args, engine=engine, **kwargs)
         except Exception as exc:
             request.future.set_exception(exc)
             self.metrics.record_failed(time.perf_counter() - request.enqueued_at)

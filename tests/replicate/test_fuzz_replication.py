@@ -1,0 +1,141 @@
+"""Differential fuzz: followers killed and restarted mid-stream must converge.
+
+The replication acceptance invariant, driven by the same ``--fuzz-runs``
+seeding convention as ``tests/core/test_fuzz_differential.py``: for any
+seeded op stream committed through a WAL-wrapped primary,
+
+* a follower -- including one killed at a random point and re-attached
+  with a fresh store -- equals the dict-of-sets oracle at every probed
+  commit index;
+* ``recover(upto=i)`` on a copy of the directory reproduces exactly the
+  first ``i`` group commits (single-segment lane), and
+  ``recover(upto=position)`` reproduces every probed follower state
+  (sharded lane);
+* the final follower promotes into a writable store, and the deposed
+  primary's stale segments are refused during recovery of the replica
+  directory.
+"""
+
+import random
+import shutil
+
+import pytest
+
+from repro import ShardedCuckooGraph
+from repro.persist import LOCK_NAME, PersistentStore, read_wal_records, recover
+from repro.replicate import Follower, Primary
+
+from ..core.test_fuzz_differential import (
+    NODE_RANGE,
+    Oracle,
+    assert_final_state,
+    generate_ops,
+)
+
+
+def copy_dir(source, destination):
+    shutil.copytree(source, destination)
+    lock = destination / LOCK_NAME
+    if lock.exists():
+        lock.unlink()
+    return destination
+
+
+@pytest.mark.parametrize("num_shards", [1, 3])
+def test_fuzz_follower_kill_restart_converges(num_shards, fuzz_seed, tmp_path):
+    rng = random.Random(fuzz_seed * 23 + num_shards)
+    ops = generate_ops(fuzz_seed)
+    oracle = Oracle()
+    context = f"seed={fuzz_seed} shards={num_shards} replicate"
+    base = tmp_path / "primary"
+
+    def fresh_replica():
+        return Follower(store=ShardedCuckooGraph(num_shards=num_shards))
+
+    store = PersistentStore(base, store=ShardedCuckooGraph(num_shards=num_shards),
+                            own_store=True, sync_on_commit=False,
+                            compact_wal_bytes=None)
+    primary = Primary(store)
+    follower = fresh_replica()
+    primary.attach(follower)
+
+    kills = 0
+    index_probes = []     # (commit_index, oracle edges) -- int PITR lane
+    position_probes = []  # (WalPosition, oracle edges)  -- sharded PITR lane
+    position = 0
+    while position < len(ops):
+        chunk = ops[position:position + rng.randrange(20, 90)]
+        position += len(chunk)
+        inserts = [(u, v) for a, u, v in chunk if a == "insert"]
+        deletes = [(u, v) for a, u, v in chunk if a == "delete"]
+        assert store.insert_edges(inserts) == \
+            sum(oracle.insert(u, v) for u, v in inserts), context
+        assert store.delete_edges(deletes) == \
+            sum(oracle.delete(u, v) for u, v in deletes), context
+        primary.sync_and_pump()
+
+        if rng.random() < 0.30:
+            # Kill: the replica vanishes with shipped-but-unapplied messages
+            # still queued.  A fresh store re-attaches and must converge via
+            # backfill alone.
+            follower.close()
+            kills += 1
+            follower = fresh_replica()
+            primary.attach(follower)
+        else:
+            follower.wait_for(primary.commit_index)
+
+        assert follower.commit_index == primary.commit_index, context
+        assert_final_state(follower.store, oracle,
+                           f"{context} probe@{follower.commit_index}")
+        index_probes.append((primary.commit_index, oracle.edges()))
+        position_probes.append((follower.position, oracle.edges()))
+
+    final_edges = oracle.edges()
+
+    # ---- promotion + fencing ----------------------------------------- #
+    follower.wait_for(primary.commit_index)
+    promoted = follower.promote(tmp_path / "replica")
+    assert sorted(promoted.edges()) == final_edges, context
+    assert promoted.insert_edge(NODE_RANGE + 5, NODE_RANGE + 6), context
+    promoted.checkpoint()
+    promoted_state = sorted(promoted.edges())
+    promoted.close()
+    follower.close()
+    primary.close()
+
+    # The deposed primary keeps writing, then its segments are smuggled
+    # into the replica directory; recovery must refuse them all.
+    store.insert_edges([(u, NODE_RANGE + 50) for u in range(4)])
+    store.sync()
+    store.close()
+    for segment in sorted(base.glob("wal-*.bin")):
+        generation, records, _ = read_wal_records(segment)
+        if not records:
+            continue  # an empty stale segment proves nothing
+        shutil.copy(segment, tmp_path / "replica" / segment.name)
+    fenced = recover(tmp_path / "replica",
+                     store=ShardedCuckooGraph(num_shards=num_shards))
+    assert sorted(fenced.edges()) == promoted_state, f"{context} fencing"
+    assert fenced.last_recovery["wal_ops"] == 0, f"{context} fencing"
+    fenced.close()
+
+    # ---- point-in-time recovery probes -------------------------------- #
+    sample = rng.sample(range(len(index_probes)), k=min(3, len(index_probes)))
+    for probe in sample:
+        if num_shards == 1:
+            commit_index, expected = index_probes[probe]
+            workdir = copy_dir(base, tmp_path / f"pitr-i{probe}")
+            rewound = recover(workdir, store=ShardedCuckooGraph(num_shards=1),
+                              upto=commit_index)
+            assert sorted(rewound.edges()) == expected, \
+                f"{context} upto={commit_index}"
+            rewound.close()
+        wal_position, expected = position_probes[probe]
+        workdir = copy_dir(base, tmp_path / f"pitr-p{probe}")
+        rewound = recover(workdir,
+                          store=ShardedCuckooGraph(num_shards=num_shards),
+                          upto=wal_position)
+        assert sorted(rewound.edges()) == expected, \
+            f"{context} upto={wal_position}"
+        rewound.close()

@@ -1,0 +1,225 @@
+"""Follower promotion and generation fencing.
+
+The failover invariant: ``promote()`` turns a caught-up replica into a
+standalone writable :class:`PersistentStore` whose first checkpoint is
+stamped one generation past everything the old primary ever wrote.  The
+byte-level fencing checks mirror ``tests/persist/test_crash_recovery.py``:
+drop the deposed primary's WAL segments into the replica's directory and
+prove recovery *rejects* (skips and truncates) them instead of replaying a
+dead leader's history over the new timeline.
+"""
+
+import shutil
+
+import pytest
+
+from repro import CuckooGraph, ShardedCuckooGraph
+from repro.core.errors import ReplicationError
+from repro.persist import (
+    WAL_HEADER_SIZE,
+    PersistentStore,
+    read_wal_records,
+    recover,
+)
+from repro.replicate import Follower, Primary
+
+
+def build_pair(tmp_path, num_shards=2):
+    store = PersistentStore(
+        tmp_path / "primary",
+        store=ShardedCuckooGraph(num_shards=num_shards),
+        own_store=True,
+        compact_wal_bytes=None,
+    )
+    primary = Primary(store)
+    follower = Follower(store=ShardedCuckooGraph(num_shards=num_shards))
+    primary.attach(follower)
+    return store, primary, follower
+
+
+def test_promoted_follower_is_a_standalone_writable_store(tmp_path):
+    store, primary, follower = build_pair(tmp_path)
+    store.insert_edges([(u, u + 1) for u in range(15)])
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    state = sorted(store.edges())
+
+    promoted = follower.promote(tmp_path / "replica")
+    assert promoted.generation == store.generation + 1
+    assert sorted(promoted.edges()) == state
+    # Writable, logging, recoverable.
+    assert promoted.insert_edge(900, 901)
+    promoted.close()
+    reopened = recover(tmp_path / "replica",
+                       store=ShardedCuckooGraph(num_shards=2))
+    assert sorted(reopened.edges()) == sorted(state + [(900, 901)])
+    reopened.close()
+    primary.close()
+    store.close()
+
+
+def test_promotion_detaches_and_is_terminal(tmp_path):
+    store, primary, follower = build_pair(tmp_path)
+    store.insert_edge(1, 2)
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    promoted = follower.promote(tmp_path / "replica")
+
+    assert follower.promoted
+    assert follower not in primary.followers
+    with pytest.raises(ReplicationError, match="promoted"):
+        follower.poll()
+    with pytest.raises(ReplicationError, match="promoted"):
+        follower.wait_for(1)
+    # close() after promotion must not close the store out from under the
+    # promoted wrapper.
+    follower.close()
+    assert promoted.has_edge(1, 2)
+    promoted.close()
+    primary.close()
+    store.close()
+
+
+def test_stale_primary_segments_are_fenced_out_of_the_replica_dir(tmp_path):
+    """Byte-level fencing: a deposed primary's WAL is provably rejected."""
+    store, primary, follower = build_pair(tmp_path)
+    store.insert_edges([(u, u + 1) for u in range(10)])
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+
+    promoted = follower.promote(tmp_path / "replica")
+    promoted.insert_edge(700, 701)  # the new timeline
+    promoted.checkpoint()  # fold it: the segments the attack overwrites are empty
+    promoted_state = sorted(promoted.edges())
+    promoted.close()
+
+    # The deposed primary keeps accepting writes (split brain) ...
+    store.insert_edges([(u, 999) for u in range(5)])
+    store.close()
+    primary.close()
+
+    # ... and its segments are smuggled into the replica's directory, as a
+    # misconfigured restart script might.  Their header generation (the old
+    # primary never checkpointed: generation 0) is below the promoted
+    # snapshot's (1), so recovery must skip AND truncate them.
+    for index in range(2):
+        name = f"wal-{index:03d}.bin"
+        generation, records, _ = read_wal_records(tmp_path / "primary" / name)
+        assert generation == 0 and records, "stale segment should carry records"
+        shutil.copy(tmp_path / "primary" / name, tmp_path / "replica" / name)
+
+    recovered = recover(tmp_path / "replica",
+                        store=ShardedCuckooGraph(num_shards=2))
+    # Not one of the stale records was replayed: no (u, 999) edges, no
+    # re-raised history -- and the new-timeline write survived.
+    assert sorted(recovered.edges()) == promoted_state
+    assert recovered.last_recovery["wal_ops"] == 0
+    assert not any(v == 999 for _, v in recovered.edges())
+    recovered.close()
+
+    # Byte-level: the stale segments were truncated to nothing (the next
+    # append re-stamps them with the promoted generation).
+    for index in range(2):
+        assert (tmp_path / "replica" / f"wal-{index:03d}.bin").stat().st_size == 0
+
+
+def test_fencing_holds_after_the_old_primary_compacts_too(tmp_path):
+    """Even a checkpointing old primary stays behind the promoted generation.
+
+    Promotion bumps to (observed generation + 1); the deposed primary's
+    *next* checkpoint reaches the same number, so only segments written
+    before the promotion race are provably stale.  This pins the guarantee
+    actually made: every record the old primary wrote *before* the replica
+    was promoted is fenced out.
+    """
+    store, primary, follower = build_pair(tmp_path, num_shards=1)
+    store.insert_edge(1, 2)
+    store.checkpoint()        # old primary at generation 1
+    store.insert_edge(3, 4)   # post-checkpoint record, generation-1 segment
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    assert follower.generation == 1
+
+    promoted = follower.promote(tmp_path / "replica")
+    assert promoted.generation == 2
+    promoted_state = sorted(promoted.edges())
+    promoted.close()
+    primary.close()
+
+    # Smuggle the old primary's generation-1 segment in: still stale.
+    store.insert_edge(5, 6)
+    store.close()
+    shutil.copy(tmp_path / "primary" / "wal-000.bin",
+                tmp_path / "replica" / "wal-000.bin")
+    recovered = recover(tmp_path / "replica", store=CuckooGraph())
+    assert sorted(recovered.edges()) == promoted_state
+    assert not recovered.has_edge(5, 6)
+    recovered.close()
+
+
+def test_promote_with_a_queued_generation_bump_still_fences(tmp_path):
+    """Regression: promote() must drain the channel before picking its fence.
+
+    A checkpoint queues a GenerationBump the follower has not applied yet;
+    promoting at that instant must still stamp a generation *past* the
+    deposed primary's current one, or a stale segment of the same
+    generation would pass recovery's fence and replay the dead leader's
+    writes over the new timeline.
+    """
+    store, primary, follower = build_pair(tmp_path, num_shards=1)
+    store.insert_edge(1, 2)
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    store.checkpoint()   # primary at generation 1 now
+    primary.pump()       # the bump is queued on the follower's channel ...
+    promoted = follower.promote(tmp_path / "replica")  # ... not yet applied
+    assert promoted.generation == store.generation + 1 == 2
+    promoted.checkpoint()
+    promoted_state = sorted(promoted.edges())
+    promoted.close()
+
+    # The deposed primary writes at its live generation (1); its segment
+    # must still be provably stale in the replica directory.
+    store.insert_edge(7, 8)
+    primary.close()
+    store.close()
+    shutil.copy(tmp_path / "primary" / "wal-000.bin",
+                tmp_path / "replica" / "wal-000.bin")
+    recovered = recover(tmp_path / "replica", store=CuckooGraph())
+    assert sorted(recovered.edges()) == promoted_state
+    assert not recovered.has_edge(7, 8), "same-generation stale segment leaked"
+    recovered.close()
+
+
+def test_promoted_ephemeral_follower(tmp_path):
+    store, primary, follower = build_pair(tmp_path)
+    store.insert_edge(1, 2)
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    promoted = follower.promote()  # path=None: ephemeral directory
+    assert promoted.has_edge(1, 2)
+    assert promoted.insert_edge(2, 3)
+    assert promoted.segment_paths[0].exists()
+    promoted.close()
+    assert not promoted.path.exists()  # temp dir removed on close
+    primary.close()
+    store.close()
+
+
+def test_promoted_segments_are_stamped_with_the_bumped_generation(tmp_path):
+    store, primary, follower = build_pair(tmp_path, num_shards=1)
+    store.insert_edge(1, 2)
+    primary.pump()
+    follower.wait_for(primary.commit_index)
+    promoted = follower.promote(tmp_path / "replica")
+    promoted.insert_edge(10, 11)
+    promoted.close()
+
+    generation, records, _ = read_wal_records(tmp_path / "replica" / "wal-000.bin")
+    assert generation == 1  # bumped past the primary's 0
+    assert [ops for ops, _ in records] == [[("insert", 10, 11)]]
+    # And the fresh segment starts right after its header: history lives in
+    # the promotion snapshot, not in replayed records.
+    assert records[0][1] > WAL_HEADER_SIZE
+    primary.close()
+    store.close()

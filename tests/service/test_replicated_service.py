@@ -1,0 +1,185 @@
+"""GraphService(replicas=N): read routing, freshness policies, metrics.
+
+The service keeps mutations on the primary (the PersistentStore it was
+given) and serves read runs -- ``has`` / ``successors`` -- and analytics
+jobs from the replication group's followers, round-robin.  These tests pin
+the routing (spy stores count who served what), the read-your-writes
+guarantee under interleaved traffic, the ``"any"`` staleness trade, and
+the replication section of ``ServiceMetrics``.
+"""
+
+import pytest
+
+from repro import ShardedCuckooGraph
+from repro.persist import PersistentStore
+from repro.service import GraphClient, GraphService
+
+
+def durable_store(tmp_path, num_shards=2):
+    return PersistentStore(
+        tmp_path / "primary",
+        store=ShardedCuckooGraph(num_shards=num_shards),
+        own_store=True,
+        sync_on_commit=False,
+        compact_wal_bytes=None,
+    )
+
+
+def test_replicas_require_a_persistent_store():
+    store = ShardedCuckooGraph(num_shards=2)
+    with pytest.raises(ValueError, match="PersistentStore"):
+        GraphService(store, replicas=1)
+    store.close()
+
+
+def test_bad_freshness_is_refused(tmp_path):
+    store = durable_store(tmp_path)
+    with pytest.raises(ValueError, match="freshness"):
+        GraphService(store, replicas=1, freshness="stale-ok")
+    store.close()
+
+
+def test_read_your_writes_interleaved_traffic(tmp_path):
+    """Reads submitted after mutations always observe them."""
+    store = durable_store(tmp_path)
+    with GraphService(store, replicas=2, durability="batch",
+                      own_store=True, max_batch=16) as service:
+        for u in range(40):
+            insert = service.insert_edge(u, u + 1)
+            assert insert.result(timeout=30) is True
+            # The very next read must see the write (read-your-writes).
+            assert service.has_edge(u, u + 1).result(timeout=30) is True
+        gone = service.delete_edge(5, 6)
+        assert gone.result(timeout=30) is True
+        assert service.has_edge(5, 6).result(timeout=30) is False
+        assert sorted(service.successors(7).result(timeout=30)) == [8]
+
+        summary = service.metrics_summary()
+        replication = summary["replication"]
+        # Every read run was served by a replica, spread round-robin.
+        assert sum(replication["replica_reads"].values()) > 0
+        assert set(replication["replica_reads"]) == {0, 1}
+        assert summary["failed"] == 0
+
+
+def test_reads_are_served_by_followers_not_the_primary(tmp_path):
+    """Spy on the stores: read batch calls land on replicas only."""
+    calls = {"primary": 0, "replica": 0}
+
+    class SpyShardedPrimary(ShardedCuckooGraph):
+        def has_edges(self, edges):
+            calls["primary"] += 1
+            return super().has_edges(edges)
+
+        def successors_many(self, nodes):
+            calls["primary"] += 1
+            return super().successors_many(nodes)
+
+        def spawn_empty(self):
+            spawned = SpyShardedReplica(num_shards=self.num_shards)
+            return spawned
+
+    class SpyShardedReplica(ShardedCuckooGraph):
+        def has_edges(self, edges):
+            calls["replica"] += 1
+            return super().has_edges(edges)
+
+        def successors_many(self, nodes):
+            calls["replica"] += 1
+            return super().successors_many(nodes)
+
+    store = PersistentStore(
+        tmp_path / "primary", store=SpyShardedPrimary(num_shards=2),
+        own_store=True, sync_on_commit=False, compact_wal_bytes=None)
+    with GraphService(store, replicas=2, durability="batch",
+                      own_store=True) as service:
+        service.insert_edge(1, 2).result(timeout=30)
+        calls["primary"] = calls["replica"] = 0  # discard the mutation probes
+
+        assert service.has_edge(1, 2).result(timeout=30) is True
+        assert service.successors(1).result(timeout=30) == [2]
+
+    assert calls["replica"] >= 2, "reads must be served by replicas"
+    assert calls["primary"] == 0, "the primary must not serve read runs"
+
+
+def test_analytics_jobs_run_on_a_replica(tmp_path):
+    store = durable_store(tmp_path)
+    with GraphService(store, replicas=2, durability="batch",
+                      own_store=True) as service:
+        for u in range(10):
+            service.insert_edge(u, u + 1)
+        order = service.analytics("bfs", 0).result(timeout=30)
+        assert order == list(range(11))
+        ranks = service.analytics("pagerank").result(timeout=30)
+        assert ranks and abs(sum(ranks.values()) - 1.0) < 1e-6
+        replication = service.metrics_summary()["replication"]
+        assert sum(replication["replica_reads"].values()) >= 2
+
+
+def test_any_freshness_may_lag_but_reports_it(tmp_path):
+    """``"any"`` serves durable state only; unsynced commits may be missed."""
+    store = durable_store(tmp_path)
+    # durability="none" + sync_on_commit=False: mutations stay buffered, so
+    # an "any" read legitimately observes an older prefix.
+    with GraphService(store, replicas=1, freshness="any",
+                      own_store=True) as service:
+        for u in range(20):
+            service.insert_edge(u, u + 1).result(timeout=30)
+        stale = service.has_edge(19, 20).result(timeout=30)
+        assert stale in (True, False)  # staleness is allowed by the policy
+        replication = service.metrics_summary()["replication"]
+        assert replication["lag_samples"] == 1
+        if not stale:
+            assert replication["lag_max"] > 0
+
+        # After an explicit flush + barrier the replica catches up.
+        service.replication.primary.sync_and_pump()
+        follower = service.replication.followers[0]
+        follower.wait_for(service.replication.primary.commit_index)
+        assert follower.store.has_edge(19, 20)
+
+
+def test_replication_lag_is_measured_under_read_your_writes(tmp_path):
+    store = durable_store(tmp_path)
+    with GraphService(store, replicas=2, durability="batch",
+                      own_store=True, max_batch=64) as service:
+        futures = [service.insert_edge(u, u + 1) for u in range(60)]
+        for future in futures:
+            future.result(timeout=30)
+        assert service.has_edge(0, 1).result(timeout=30) is True
+        replication = service.metrics_summary()["replication"]
+        assert replication["lag_samples"] >= 1
+        # The barrier closed a real gap at least once (mutations landed
+        # before the read run was dispatched).
+        assert replication["lag_max"] >= 0
+        assert replication["lag_mean"] >= 0
+
+
+def test_durable_client_with_replicas_survives_restart(tmp_path):
+    """GraphClient.durable(replicas=...) recovers and re-replicates."""
+    path = tmp_path / "durable"
+    client = GraphClient.durable(path, num_shards=2, replicas=2)
+    client.insert_edges([(u, u + 1) for u in range(25)])
+    state = sorted(client.edges())
+    client.close()
+
+    reopened = GraphClient.durable(path, num_shards=2, replicas=2)
+    assert sorted(reopened.edges()) == state
+    assert reopened.has_edge(3, 4)
+    assert reopened.insert_edge(500, 501)
+    replication = reopened.service.metrics_summary()["replication"]
+    assert sum(replication["replica_reads"].values()) >= 1
+    reopened.close()
+
+
+def test_close_tears_down_replicas_and_primary(tmp_path):
+    store = durable_store(tmp_path)
+    service = GraphService(store, replicas=2, own_store=True).start()
+    service.insert_edge(1, 2).result(timeout=30)
+    group = service.replication
+    service.close()
+    assert group.closed
+    assert group.primary.closed
+    assert all(f.closed for f in group.followers)
+    assert store.closed
