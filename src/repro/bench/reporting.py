@@ -7,7 +7,9 @@ to paste into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
 
 
 def format_table(rows: Sequence[Mapping[str, object]],
@@ -92,3 +94,21 @@ def memory_series_table(points, title: Optional[str] = None) -> str:
     rows = [point.as_row() for point in points]
     return format_table(rows, columns=["scheme", "dataset", "inserted", "memory_bytes"],
                         title=title)
+
+
+def write_bench_json(name: str, payload: Mapping[str, object],
+                     directory: Union[str, Path]) -> Path:
+    """Write a machine-readable benchmark result next to the text report.
+
+    The plain-text tables are for human diffing; CI and trend tooling want
+    the same numbers without parsing aligned columns.  The payload lands in
+    ``<directory>/BENCH_<name>.json`` -- sorted keys, trailing newline --
+    so reruns on identical numbers produce byte-identical files.  Returns
+    the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,368 @@
+"""Worker-process side of ``ShardedCuckooGraph(executor="processes")``.
+
+The threaded executor exercises the sharded front-end's concurrency
+*structure*, but under CPython's GIL the pure-Python shards never speed up
+wall-clock.  This module is the missing half: a long-lived pool of worker
+processes, each **owning** the full ``CuckooGraph`` state of the shards
+assigned to it, so N shards really do use N cores.
+
+Design:
+
+* **Ownership.**  Shard ``i`` lives in worker ``i % workers`` for the
+  store's whole lifetime.  The parent holds no shard state at all -- it
+  routes, serializes and merges.  Workers never share anything, which is
+  the same independence property that makes the threaded fan-out lock-free.
+
+* **Wire format.**  A request is ``(method, payload)`` over a
+  ``multiprocessing.Pipe``; a response is ``("ok", value)`` or
+  ``("err", exception)``.  Mutation payloads reuse the WAL op encoding
+  (:func:`repro.persist.wal.encode_ops` / ``decode_ops``) verbatim --
+  one opcode byte plus 8-byte signed node ids per operation -- and the
+  query payloads use the companion flat codecs
+  (:func:`repro.persist.wal.encode_edges` / ``encode_nodes``), so the
+  shard RPC serialization *is* the durability serialization; nothing
+  bespoke crosses the process boundary.
+
+* **Determinism.**  Each worker builds its shards from the same
+  ``CuckooGraphConfig`` (seed ``config.seed + shard index``) and applies
+  each shard's operations in the parent's partition order, so shard state,
+  per-operation results, counters and modelled accesses are byte-identical
+  to the serial and threaded executors (``tests/core/test_differential.py``
+  enforces this three ways).
+
+* **Failure.**  A worker that dies mid-conversation (killed, OOMed,
+  segfaulted) is detected as a broken pipe; the pool kills its siblings
+  and every subsequent operation raises
+  :class:`~repro.core.errors.StoreClosedError` -- shard state is gone, so
+  the store is gone, loudly.  ``close()`` is the clean path: a shutdown
+  message per worker, then join.
+
+The pool keeps exactly **one in-flight request per worker** (a lock per
+pipe, acquired in worker order to stay deadlock-free across threads), which
+is what lets the service dispatcher run one batch run per shard group
+without ever interleaving two conversations on one pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import CuckooGraphConfig
+from .errors import StoreClosedError
+
+#: Single-shard methods the generic "call" request may invoke.  A whitelist,
+#: not ``getattr`` free-for-all: the parent is the only client, but a typo'd
+#: method name should fail loudly in one place.
+CALL_METHODS = frozenset({
+    "insert_edge",
+    "delete_edge",
+    "has_edge",
+    "successors",
+    "out_degree",
+    "has_node",
+    "insert_weighted_edge",
+    "edge_weight",
+})
+
+#: Whole-worker dump requests -> the shard iterator they materialise.
+DUMP_METHODS = ("edges", "source_nodes", "weighted_edges")
+
+
+def _build_shards(shard_indices: Sequence[int], config: CuckooGraphConfig,
+                  weighted: bool):
+    """Construct this worker's shards, seeded exactly like the in-process path."""
+    # Imported here, not at module top: repro.persist imports
+    # repro.core.sharded, so a module-level import from persist would cycle
+    # during package initialisation.  Workers (and the parent) only need
+    # these once a process-backed store is actually built.
+    from .graph import CuckooGraph
+    from .weighted import WeightedCuckooGraph
+
+    factory = WeightedCuckooGraph if weighted else CuckooGraph
+    return {
+        index: factory(config.with_overrides(seed=config.seed + index))
+        for index in shard_indices
+    }
+
+
+def _dispatch(shards: dict, method: str, payload):
+    """Execute one request against this worker's shards."""
+    from ..persist.wal import DELETE, INSERT, decode_edges, decode_nodes, decode_ops
+
+    if method == "call":
+        index, name, args = payload
+        if name not in CALL_METHODS:
+            raise ValueError(f"unknown shard-RPC call {name!r}")
+        return getattr(shards[index], name)(*args)
+    if method == "apply":
+        counts: List[int] = []
+        for index, ops_payload in payload:
+            shard = shards[index]
+            changed = 0
+            for op in decode_ops(ops_payload):
+                tag = op[0]
+                if tag == INSERT:
+                    if shard.insert_edge(op[1], op[2]):
+                        changed += 1
+                elif tag == DELETE:
+                    if shard.delete_edge(op[1], op[2]):
+                        changed += 1
+                else:  # INSERT_WEIGHTED: apply; "changed" counts new edges only
+                    if shard.edge_weight(op[1], op[2]) == 0:
+                        changed += 1
+                    shard.insert_weighted_edge(op[1], op[2], op[3])
+            counts.append(changed)
+        return counts
+    if method == "has_edges":
+        return [
+            [shards[index].has_edge(u, v) for u, v in decode_edges(edges_payload)]
+            for index, edges_payload in payload
+        ]
+    if method == "successors_many":
+        return [
+            [shards[index].successors(u) for u in decode_nodes(nodes_payload)]
+            for index, nodes_payload in payload
+        ]
+    if method == "dump":
+        if payload not in DUMP_METHODS:
+            raise ValueError(f"unknown shard-RPC dump {payload!r}")
+        return {index: list(getattr(shard, payload)())
+                for index, shard in shards.items()}
+    if method == "stats":
+        return {
+            index: {
+                "num_edges": shard.num_edges,
+                "num_source_nodes": shard.num_source_nodes,
+                "accesses": shard.accesses,
+                "memory_bytes": shard.memory_bytes(),
+            }
+            for index, shard in shards.items()
+        }
+    if method == "counters":
+        return {index: shard.counters for index, shard in shards.items()}
+    if method == "summaries":
+        return {index: shard.structure_summary()
+                for index, shard in shards.items()}
+    if method == "reset_accesses":
+        for shard in shards.values():
+            shard.reset_accesses()
+        return None
+    raise ValueError(f"unknown shard-RPC method {method!r}")
+
+
+def worker_main(conn, shard_indices: Sequence[int], config: CuckooGraphConfig,
+                weighted: bool) -> None:
+    """Request loop of one worker process.
+
+    Builds the owned shards, then serves ``(method, payload)`` requests
+    until a ``shutdown`` message or a hangup (parent died) arrives.
+    Application-level exceptions travel back as ``("err", exc)`` and leave
+    the worker alive; only transport failure or shutdown ends the loop.
+    """
+    shards = _build_shards(shard_indices, config, weighted)
+    try:
+        while True:
+            try:
+                method, payload = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; daemon worker just exits
+            if method == "shutdown":
+                conn.send(("ok", None))
+                return
+            try:
+                result = _dispatch(shards, method, payload)
+            except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+                try:
+                    conn.send(("err", exc))
+                except Exception:
+                    # The exception itself would not pickle; ship a portable
+                    # stand-in (Connection.send pickles before writing, so a
+                    # failed send leaves the pipe clean).
+                    conn.send(("err", RuntimeError(
+                        f"shard worker error: {type(exc).__name__}: {exc}"
+                    )))
+            else:
+                conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """Parent-side handle of one worker process (pipe + in-flight lock)."""
+
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+
+
+class ShardWorkerPool:
+    """Parent-side pool: routing table, request framing, lifecycle.
+
+    Args:
+        num_shards: Total shard count of the owning front-end.
+        config: Base configuration shipped (pickled) to every worker.
+        weighted: Build weighted shards in the workers.
+        max_workers: Upper bound on worker processes; the effective count is
+            ``min(max_workers, num_shards)`` and shard ``i`` is owned by
+            worker ``i % workers``.
+        start_method: ``multiprocessing`` start method override; defaults to
+            ``fork`` where available (cheap, no re-import) and ``spawn``
+            elsewhere.
+    """
+
+    def __init__(self, num_shards: int, config: CuckooGraphConfig,
+                 weighted: bool, max_workers: int,
+                 start_method: Optional[str] = None):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        workers = max(1, min(max_workers, num_shards))
+        #: Worker id owning each shard index.
+        self.worker_of: List[int] = [index % workers for index in range(num_shards)]
+        self._closed = False
+        self.workers: List[_Worker] = []
+        for worker_id in range(workers):
+            owned = [index for index in range(num_shards)
+                     if index % workers == worker_id]
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(child_conn, owned, config, weighted),
+                name=f"cuckoo-shard-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()  # the parent keeps only its own end
+            self.workers.append(_Worker(process, parent_conn))
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _dead(self, cause: BaseException):
+        """A worker process died under us: the shard state is gone."""
+        self.kill()
+        raise StoreClosedError(
+            f"shard worker process died ({type(cause).__name__}); the "
+            f"process-backed store is closed"
+        ) from cause
+
+    def _exchange(self, worker: _Worker, method: str, payload):
+        """One send/recv conversation; the caller holds ``worker.lock``."""
+        try:
+            worker.conn.send((method, payload))
+            status, value = worker.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            self._dead(exc)
+        return status, value
+
+    def request(self, worker_id: int, method: str, payload):
+        """Run one request against one worker and return its result."""
+        if self._closed:
+            raise StoreClosedError(
+                "process-backed store is closed; shard workers are gone"
+            )
+        worker = self.workers[worker_id]
+        with worker.lock:
+            status, value = self._exchange(worker, method, payload)
+        if status == "err":
+            raise value
+        return value
+
+    def scatter(self, requests: Dict[int, Tuple[str, object]]) -> Dict[int, object]:
+        """One request per worker, concurrently; results keyed by worker id.
+
+        Locks are acquired in worker-id order (a global order, so two
+        threads scattering concurrently cannot deadlock), every request is
+        sent before any response is awaited -- the workers genuinely run in
+        parallel -- and **all** responses are drained before an application
+        error is re-raised, so a failure in one worker never leaves a stale
+        response queued on another's pipe.
+        """
+        if self._closed:
+            raise StoreClosedError(
+                "process-backed store is closed; shard workers are gone"
+            )
+        ordered = sorted(requests)
+        acquired: List[_Worker] = []
+        responses: Dict[int, Tuple[str, object]] = {}
+        try:
+            try:
+                for worker_id in ordered:
+                    worker = self.workers[worker_id]
+                    worker.lock.acquire()
+                    acquired.append(worker)
+                    method, payload = requests[worker_id]
+                    worker.conn.send((method, payload))
+                for worker_id in ordered:
+                    responses[worker_id] = self.workers[worker_id].conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._dead(exc)
+        finally:
+            for worker in acquired:
+                worker.lock.release()
+        for worker_id in ordered:
+            status, value = responses[worker_id]
+            if status == "err":
+                raise value
+        return {worker_id: value for worker_id, (_, value) in responses.items()}
+
+    def scatter_all(self, method: str, payload=None) -> Dict[int, object]:
+        """Broadcast one request to every worker."""
+        return self.scatter({worker_id: (method, payload)
+                             for worker_id in range(len(self.workers))})
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut every worker down cleanly.  Idempotent and terminal."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(("shutdown", None))
+                    worker.conn.recv()
+                except Exception:
+                    pass  # already dead; join/terminate below still runs
+                finally:
+                    worker.conn.close()
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+
+    def kill(self) -> None:
+        """Terminate every worker immediately (crash path).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+
+    def __del__(self):  # best-effort: daemon workers die with the parent too
+        try:
+            self.kill()
+        except Exception:
+            pass

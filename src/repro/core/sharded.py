@@ -32,11 +32,15 @@ that front-end:
   Because a group only ever touches its own shard, no locking is needed, and
   results are merged in the same deterministic per-shard order as the serial
   path, so return values, counters and modelled accesses are identical
-  between the two executors (``tests/core/test_differential.py`` enforces
+  between the executors (``tests/core/test_differential.py`` enforces
   this).  Under CPython's GIL the pure-Python shards do not speed up
-  wall-clock; the executor is the cut point where C-backed or subprocess
-  shards would, and it exercises the concurrency structure a deployment
-  needs.
+  wall-clock under threads; ``executor="processes"`` is the executor that
+  does: a long-lived pool of worker processes (see
+  :mod:`~repro.core.shard_worker`) each *owns* its shards' state, the
+  parent ships per-shard batch groups over the WAL op encoding
+  (:func:`repro.persist.wal.encode_ops`) and merges results, counters and
+  accesses back deterministically -- N shards on N cores, observably
+  identical to the serial executor.
 
 * **Aggregation.**  ``accesses``, ``counters``, ``memory_bytes`` and
   ``structure_summary`` combine the per-shard quantities, so the sharded
@@ -63,7 +67,7 @@ from .weighted import WeightedCuckooGraph
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 #: Executor names accepted by :class:`ShardedCuckooGraph`.
-EXECUTORS = ("serial", "threads")
+EXECUTORS = ("serial", "threads", "processes")
 
 _T = TypeVar("_T")
 
@@ -95,12 +99,16 @@ class ShardedCuckooGraph(DynamicGraphStore):
             increment a weight) instead of the basic distinct-edge version.
         shard_factory: Optional override constructing one shard from its
             :class:`CuckooGraphConfig`; takes precedence over ``weighted``.
+            Not supported with ``executor="processes"`` (shards are built
+            inside the workers from the picklable config).
         executor: ``"serial"`` drains per-shard batch groups sequentially;
             ``"threads"`` fans them out over a shared thread pool (one worker
-            per shard by default).  Results, counters and accesses are
-            identical either way.
-        max_workers: Thread-pool size for ``executor="threads"``; defaults to
-            the shard count.  Ignored by the serial executor.
+            per shard by default); ``"processes"`` routes them to a pool of
+            long-lived worker processes that own the shard state (true
+            multicore -- see :mod:`~repro.core.shard_worker`).  Results,
+            counters and accesses are identical in every case.
+        max_workers: Pool size for ``executor="threads"``/``"processes"``;
+            defaults to the shard count.  Ignored by the serial executor.
 
     Example:
         >>> graph = ShardedCuckooGraph(num_shards=4)
@@ -134,10 +142,33 @@ class ShardedCuckooGraph(DynamicGraphStore):
         self.executor = executor
         self._max_workers = max_workers if max_workers is not None else num_shards
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._procs = None  # ShardWorkerPool under executor="processes"
         self._closed = False
+        if executor == "processes":
+            if shard_factory is not None:
+                raise ConfigurationError(
+                    "shard_factory is not supported with executor='processes': "
+                    "shards are built inside the worker processes from the "
+                    "picklable config (use weighted=True for weighted shards)"
+                )
+            # Deferred import: repro.persist (which the worker RPC encoding
+            # lives in) imports this module during package initialisation.
+            from .shard_worker import ShardWorkerPool
+
+            self.weighted = weighted
+            #: Empty under the processes executor: shard state lives in (and
+            #: never leaves) the worker processes.
+            self.shards: list[CuckooGraph] = []
+            self._procs = ShardWorkerPool(
+                num_shards=num_shards,
+                config=self.config,
+                weighted=weighted,
+                max_workers=self._max_workers,
+            )
+            return
         if shard_factory is None:
             shard_factory = WeightedCuckooGraph if weighted else CuckooGraph
-        self.shards: list[CuckooGraph] = [
+        self.shards = [
             shard_factory(self.config.with_overrides(seed=self.config.seed + index))
             for index in range(num_shards)
         ]
@@ -172,6 +203,11 @@ class ShardedCuckooGraph(DynamicGraphStore):
         close-then-batch used to race exactly there); the single-operation
         read/write paths never involve the executor and keep working, so
         callers can still inspect a closed store.
+
+        Under ``executor="processes"`` close is fully terminal: the shard
+        state lives in the worker processes, so once they are shut down
+        *every* operation -- single reads included -- raises
+        :class:`StoreClosedError`.
         """
         if self._closed:
             return
@@ -179,6 +215,8 @@ class ShardedCuckooGraph(DynamicGraphStore):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._procs is not None:
+            self._procs.close()
 
     def __enter__(self) -> "ShardedCuckooGraph":
         return self
@@ -216,6 +254,49 @@ class ShardedCuckooGraph(DynamicGraphStore):
             ]
             return [(index, future.result()) for index, future in futures]
         return [(index, worker(index, group)) for index, group in groups.items()]
+
+    # ------------------------------------------------------------------ #
+    # Process-executor RPC plumbing
+    # ------------------------------------------------------------------ #
+
+    def _proc_single(self, u: int, name: str, args: tuple):
+        """One single-shard operation over the worker RPC."""
+        procs = self._procs
+        index = shard_index(u, self.num_shards)
+        return procs.request(procs.worker_of[index], "call", (index, name, args))
+
+    def _proc_groups(self, groups: dict[int, list], method: str,
+                     encode: Callable[[list], bytes]) -> dict[int, object]:
+        """Scatter per-shard batch groups to their owning workers.
+
+        Each worker receives exactly one request carrying all of its shard
+        groups (encoded with the WAL codecs) -- one in-flight run per shard
+        group -- and the per-shard results come back keyed by shard index,
+        so callers merge in the same first-seen group order as the serial
+        executor.
+        """
+        procs = self._procs
+        per_worker: dict[int, list] = {}
+        for index, group in groups.items():
+            per_worker.setdefault(procs.worker_of[index], []).append(
+                (index, encode(group))
+            )
+        responses = procs.scatter(
+            {worker_id: (method, payload)
+             for worker_id, payload in per_worker.items()}
+        )
+        results: dict[int, object] = {}
+        for worker_id, payload in per_worker.items():
+            for (index, _), result in zip(payload, responses[worker_id]):
+                results[index] = result
+        return results
+
+    def _proc_merged(self, method: str, payload=None) -> dict[int, object]:
+        """Broadcast ``method`` to every worker; merge per-shard responses."""
+        merged: dict[int, object] = {}
+        for part in self._procs.scatter_all(method, payload).values():
+            merged.update(part)
+        return merged
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -267,54 +348,97 @@ class ShardedCuckooGraph(DynamicGraphStore):
 
     def insert_edge(self, u: int, v: int) -> bool:
         """Insert ``⟨u, v⟩`` on the shard owning ``u``."""
+        if self._procs is not None:
+            return self._proc_single(u, "insert_edge", (u, v))
         return self._shard(u).insert_edge(u, v)
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``⟨u, v⟩`` is stored (probes exactly one shard)."""
+        if self._procs is not None:
+            return self._proc_single(u, "has_edge", (u, v))
         return self._shard(u).has_edge(u, v)
 
     def delete_edge(self, u: int, v: int) -> bool:
         """Delete ``⟨u, v⟩`` from the shard owning ``u``."""
+        if self._procs is not None:
+            return self._proc_single(u, "delete_edge", (u, v))
         return self._shard(u).delete_edge(u, v)
 
     def successors(self, u: int) -> list[int]:
         """Out-neighbours of ``u`` -- a single-shard lookup by construction."""
+        if self._procs is not None:
+            return self._proc_single(u, "successors", (u,))
         return self._shard(u).successors(u)
 
     def out_degree(self, u: int) -> int:
         """Out-degree of ``u`` without materialising the successor list."""
+        if self._procs is not None:
+            return self._proc_single(u, "out_degree", (u,))
         return self._shard(u).out_degree(u)
 
     def has_node(self, u: int) -> bool:
         """Whether ``u`` is currently stored as a source node."""
+        if self._procs is not None:
+            return self._proc_single(u, "has_node", (u,))
         return self._shard(u).has_node(u)
 
     def source_nodes(self) -> Iterator[int]:
         """Iterate over source nodes, shard by shard."""
+        if self._procs is not None:
+            merged = self._proc_merged("dump", "source_nodes")
+            for index in range(self.num_shards):
+                yield from merged[index]
+            return
         for shard in self.shards:
             yield from shard.source_nodes()
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over every stored directed edge, shard by shard."""
+        if self._procs is not None:
+            merged = self._proc_merged("dump", "edges")
+            for index in range(self.num_shards):
+                yield from merged[index]
+            return
         for shard in self.shards:
             yield from shard.edges()
 
     @property
     def num_edges(self) -> int:
         """Number of distinct directed edges across all shards."""
+        if self._procs is not None:
+            return sum(stats["num_edges"]
+                       for stats in self._proc_merged("stats").values())
         return sum(shard.num_edges for shard in self.shards)
 
     @property
     def num_source_nodes(self) -> int:
         """Number of distinct source nodes across all shards."""
+        if self._procs is not None:
+            return sum(stats["num_source_nodes"]
+                       for stats in self._proc_merged("stats").values())
         return sum(shard.num_source_nodes for shard in self.shards)
 
     # ------------------------------------------------------------------ #
     # Batch operations (the point of the front-end)
     # ------------------------------------------------------------------ #
 
+    def _proc_apply(self, edges: Iterable[tuple[int, int]], tag: str) -> int:
+        """Ship a mutation batch to the workers as WAL-encoded op groups."""
+        from ..persist.wal import encode_ops
+
+        groups = self._partition((edge[0], edge) for edge in edges)
+        results = self._proc_groups(
+            groups, "apply",
+            lambda group: encode_ops((tag, u, v) for u, v in group),
+        )
+        return sum(results.values())
+
     def insert_edges(self, edges: Iterable[tuple[int, int]]) -> int:
         """Insert a batch of edges grouped per shard; return how many were new."""
+        if self._procs is not None:
+            from ..persist.wal import INSERT
+
+            return self._proc_apply(edges, INSERT)
         shards = self.shards
 
         def worker(index: int, group: list) -> int:
@@ -330,6 +454,10 @@ class ShardedCuckooGraph(DynamicGraphStore):
 
     def delete_edges(self, edges: Iterable[tuple[int, int]]) -> int:
         """Delete a batch of edges grouped per shard; return how many were present."""
+        if self._procs is not None:
+            from ..persist.wal import DELETE
+
+            return self._proc_apply(edges, DELETE)
         shards = self.shards
 
         def worker(index: int, group: list) -> int:
@@ -352,6 +480,21 @@ class ShardedCuckooGraph(DynamicGraphStore):
         caller supplied.
         """
         edges = list(edges)
+        if self._procs is not None:
+            from ..persist.wal import encode_edges
+
+            groups = self._partition(
+                (edge[0], position) for position, edge in enumerate(edges)
+            )
+            results = self._proc_groups(
+                groups, "has_edges",
+                lambda positions: encode_edges(edges[p] for p in positions),
+            )
+            answers: list[bool] = [False] * len(edges)
+            for index, positions in groups.items():
+                for position, answer in zip(positions, results[index]):
+                    answers[position] = answer
+            return answers
         shards = self.shards
 
         def worker(index: int, positions: list) -> list[bool]:
@@ -376,13 +519,23 @@ class ShardedCuckooGraph(DynamicGraphStore):
         order), unknown nodes map to empty lists, and each list equals what
         ``successors`` would return.
         """
+        ordered = list(dict.fromkeys(nodes))
+        if self._procs is not None:
+            from ..persist.wal import encode_nodes
+
+            groups = self._partition((u, u) for u in ordered)
+            results = self._proc_groups(groups, "successors_many", encode_nodes)
+            gathered: dict[int, list[int]] = {}
+            for index, group in groups.items():
+                for u, succ in zip(group, results[index]):
+                    gathered[u] = succ
+            return {u: gathered[u] for u in ordered}
         shards = self.shards
 
         def worker(index: int, group: list) -> list[list[int]]:
             successors = shards[index].successors
             return [successors(u) for u in group]
 
-        ordered = list(dict.fromkeys(nodes))
         groups = self._partition((u, u) for u in ordered)
         gathered: dict[int, list[int]] = {}
         for index, group_lists in self._run_per_shard(groups, worker):
@@ -403,16 +556,25 @@ class ShardedCuckooGraph(DynamicGraphStore):
     def insert_weighted_edge(self, u: int, v: int, delta: int = 1) -> int:
         """Insert ``⟨u, v⟩`` or bump its weight by ``delta``; return the new weight."""
         self._require_weighted()
+        if self._procs is not None:
+            return self._proc_single(u, "insert_weighted_edge", (u, v, delta))
         return self._shard(u).insert_weighted_edge(u, v, delta)
 
     def edge_weight(self, u: int, v: int) -> int:
         """Current weight of ``⟨u, v⟩`` (0 if the edge is absent)."""
         self._require_weighted()
+        if self._procs is not None:
+            return self._proc_single(u, "edge_weight", (u, v))
         return self._shard(u).edge_weight(u, v)
 
     def weighted_edges(self) -> Iterator[tuple[int, int, int]]:
         """Iterate over ``(u, v, w)`` triples, shard by shard."""
         self._require_weighted()
+        if self._procs is not None:
+            merged = self._proc_merged("dump", "weighted_edges")
+            for index in range(self.num_shards):
+                yield from merged[index]
+            return
         for shard in self.shards:
             yield from shard.weighted_edges()
 
@@ -423,10 +585,16 @@ class ShardedCuckooGraph(DynamicGraphStore):
     @property
     def accesses(self) -> int:
         """Modelled memory accesses summed over every shard."""
+        if self._procs is not None:
+            return sum(stats["accesses"]
+                       for stats in self._proc_merged("stats").values())
         return sum(shard.accesses for shard in self.shards)
 
     def reset_accesses(self) -> None:
         """Zero the modelled memory-access counter of every shard."""
+        if self._procs is not None:
+            self._procs.scatter_all("reset_accesses")
+            return
         for shard in self.shards:
             shard.reset_accesses()
 
@@ -434,20 +602,46 @@ class ShardedCuckooGraph(DynamicGraphStore):
     def counters(self) -> Counters:
         """Aggregated operation counters (a fresh sum; do not mutate)."""
         total = Counters()
+        if self._procs is not None:
+            merged = self._proc_merged("counters")
+            for index in range(self.num_shards):
+                total = total + merged[index]
+            return total
         for shard in self.shards:
             total = total + shard.counters
         return total
 
     def memory_bytes(self) -> int:
         """Modelled memory footprint summed over every shard."""
+        if self._procs is not None:
+            return sum(stats["memory_bytes"]
+                       for stats in self._proc_merged("stats").values())
         return sum(shard.memory_bytes() for shard in self.shards)
 
     def shard_sizes(self) -> list[int]:
         """Edges per shard, in shard order (balance diagnostic)."""
+        if self._procs is not None:
+            stats = self._proc_merged("stats")
+            return [stats[index]["num_edges"]
+                    for index in range(self.num_shards)]
         return [shard.num_edges for shard in self.shards]
 
     def structure_summary(self) -> dict[str, object]:
         """Aggregate snapshot plus the per-shard summaries."""
+        if self._procs is not None:
+            stats = self._proc_merged("stats")
+            summaries = self._proc_merged("summaries")
+            return {
+                "num_shards": self.num_shards,
+                "num_edges": sum(s["num_edges"] for s in stats.values()),
+                "num_source_nodes": sum(s["num_source_nodes"]
+                                        for s in stats.values()),
+                "shard_edge_counts": [stats[index]["num_edges"]
+                                      for index in range(self.num_shards)],
+                "memory_bytes": sum(s["memory_bytes"] for s in stats.values()),
+                "shards": [summaries[index]
+                           for index in range(self.num_shards)],
+            }
         return {
             "num_shards": self.num_shards,
             "num_edges": self.num_edges,

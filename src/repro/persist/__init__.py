@@ -56,7 +56,11 @@ from .wal import (
     WAL_MAGIC,
     WalPosition,
     WriteAheadLog,
+    decode_edges,
+    decode_nodes,
     decode_ops,
+    encode_edges,
+    encode_nodes,
     encode_ops,
     read_wal,
     read_wal_records,
@@ -82,7 +86,11 @@ __all__ = [
     "WalPosition",
     "WriteAheadLog",
     "apply_op",
+    "decode_edges",
+    "decode_nodes",
     "decode_ops",
+    "encode_edges",
+    "encode_nodes",
     "encode_ops",
     "fsync_directory",
     "load_snapshot",

@@ -30,6 +30,8 @@ artifact of a background thread's scheduling.
 
 from __future__ import annotations
 
+import threading
+import time
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
@@ -98,6 +100,11 @@ class Follower:
         self._offsets: List[int] = []
         self._closed = False
         self._promoted = False
+        # Arrival signalling for wait_for: the channel's send-side listener
+        # sets _arrived and notifies, so the barrier sleeps instead of
+        # spinning (see wait_for).
+        self._arrival = threading.Condition()
+        self._arrived = False
         #: Group commits applied; comparable with the primary's commit_index.
         self.commit_index = 0
 
@@ -139,11 +146,19 @@ class Follower:
         return self._closed
 
     def lag(self) -> int:
-        """Commits the attached primary has shipped that this replica has
-        not applied yet (0 when detached)."""
+        """Commits the attached primary has *logged* that this replica has
+        not applied yet (0 when detached).
+
+        Staleness is measured against ``Primary.logged_commit_index`` --
+        committed group commits, shipped or still buffered -- not the
+        shipped-only ``commit_index``: a primary that committed without
+        pumping has a replica that really is behind, and ``lag()`` must say
+        so (``ServiceMetrics`` already counts replica staleness this way;
+        the two used to disagree exactly on the buffered-unshipped window).
+        """
         if self._primary is None:
             return 0
-        return max(0, self._primary.commit_index - self.commit_index)
+        return max(0, self._primary.logged_commit_index - self.commit_index)
 
     # ------------------------------------------------------------------ #
     # Stream intake (called by Primary.attach / the read path)
@@ -154,15 +169,26 @@ class Follower:
         self._ensure_live()
         self._primary = primary
         self._channel = channel
+        channel.set_listener(self._on_arrival)
         self.commit_index = commit_index
         self._generation = generation
         self._offsets = list(offsets)
+
+    def _on_arrival(self) -> None:
+        """Channel send-side hook: wake a barrier blocked in wait_for."""
+        with self._arrival:
+            self._arrived = True
+            self._arrival.notify_all()
 
     def _disconnect(self) -> None:
         if self._channel is not None:
             self._channel.close()
             self._channel = None
         self._primary = None
+        # A barrier blocked in wait_for must notice the detach, not sleep
+        # out its whole timeout against a channel that no longer exists.
+        with self._arrival:
+            self._arrival.notify_all()
 
     def _ensure_live(self) -> None:
         if self._closed:
@@ -184,6 +210,10 @@ class Follower:
             apply_shipped_ops(self._store, message.ops)
             self.commit_index = message.commit_index
             self._offsets[message.segment] = message.end_offset
+            # Notify on apply: a wait_for blocked in another thread re-checks
+            # its target index as soon as the commit index advances.
+            with self._arrival:
+                self._arrival.notify_all()
             return
         raise ReplicationError(f"unknown replication message {message!r}")
 
@@ -211,19 +241,28 @@ class Follower:
                  timeout: float = DEFAULT_BARRIER_TIMEOUT_S) -> int:
         """Read-your-writes barrier: block until ``commit_index >= index``.
 
-        Applies queued shipments (blocking on the channel between them) and
-        returns the commit index reached.  Raises :class:`ReplicationError`
-        if the primary does not deliver ``index`` within ``timeout``
-        seconds -- the replica is lagging or the primary stopped pumping.
-        """
-        import time
+        Drains and applies queued shipments, then -- when the index is still
+        short -- sleeps on a condition variable that the channel's send hook
+        and every apply notify, instead of burning the wait polling the
+        channel.  Returns the commit index reached.  Raises
+        :class:`ReplicationError` if the primary does not deliver ``index``
+        within ``timeout`` seconds (the replica is lagging or the primary
+        stopped pumping), or if the follower is detached before reaching it.
 
+        A channel without send-side notification (a custom transport that
+        never calls its listener) degrades to short poll slices rather than
+        sleeping out the whole timeout against a silent pipe.
+        """
         self._ensure_live()
-        # Drain whatever already arrived first: even when the index is
-        # already met, a queued generation bump must not linger unapplied.
-        self.poll()
         deadline = time.monotonic() + timeout
-        while self.commit_index < index:
+        while True:
+            # Drain whatever already arrived first: even when the index is
+            # already met, a queued generation bump must not linger
+            # unapplied.  Applying happens on this thread (followers stay
+            # pull-based); the condition variable only schedules the wait.
+            self.poll()
+            if self.commit_index >= index:
+                return self.commit_index
             if self._channel is None:
                 raise ReplicationError(
                     f"follower is detached at commit {self.commit_index}; "
@@ -235,10 +274,15 @@ class Follower:
                     f"read-your-writes barrier timed out at commit "
                     f"{self.commit_index}, waiting for {index}"
                 )
-            message = self._channel.receive(timeout=remaining)
-            if message is not None:
-                self._apply(message)
-        return self.commit_index
+            if not self._channel.notifies_on_send:
+                remaining = min(remaining, 0.05)
+            with self._arrival:
+                # A message that landed between the poll above and this
+                # acquire already set _arrived; skip the wait and re-drain
+                # instead of sleeping through the missed wakeup.
+                if not self._arrived:
+                    self._arrival.wait(remaining)
+                self._arrived = False
 
     # ------------------------------------------------------------------ #
     # Promotion and lifecycle

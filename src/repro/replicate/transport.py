@@ -54,7 +54,26 @@ class GenerationBump:
 
 
 class ReplicationChannel:
-    """One primary-to-follower pipe (single producer, single consumer)."""
+    """One primary-to-follower pipe (single producer, single consumer).
+
+    A channel *may* support arrival notification: implementations that set
+    :attr:`notifies_on_send` and call :meth:`_notify_listener` after each
+    enqueued message let a blocked consumer (``Follower.wait_for``) sleep on
+    a condition variable instead of polling.  Channels that do not notify
+    still work -- the consumer falls back to short poll slices.
+    """
+
+    #: Whether :meth:`send` reliably invokes the registered listener.
+    notifies_on_send = False
+
+    def set_listener(self, callback) -> None:
+        """Register a callable invoked (on the sender's thread) per send."""
+        self._listener = callback
+
+    def _notify_listener(self) -> None:
+        listener = getattr(self, "_listener", None)
+        if listener is not None:
+            listener()
 
     def send(self, message) -> None:
         raise NotImplementedError
@@ -85,6 +104,8 @@ class ReplicationTransport:
 class InProcessChannel(ReplicationChannel):
     """Queue-backed channel for followers living in the primary's process."""
 
+    notifies_on_send = True
+
     def __init__(self, capacity: int = 0):
         self._queue: "queue.Queue" = queue.Queue(maxsize=capacity)
         self._closed = False
@@ -93,6 +114,7 @@ class InProcessChannel(ReplicationChannel):
         if self._closed:
             raise ReplicationError("cannot ship on a closed replication channel")
         self._queue.put(message)
+        self._notify_listener()
 
     def receive(self, timeout: Optional[float] = None):
         try:

@@ -31,6 +31,14 @@ from .queue import BoundedRequestQueue
 #: Request kinds understood by the dispatcher, in no particular order.
 KINDS = ("insert", "delete", "has", "successors", "analytics")
 
+#: The single clock every service timestamp comes from.  ``enqueued_at``
+#: stamps, window deadlines, latency samples and the queue's put/get
+#: timeouts must all read the same monotonic clock: mixing
+#: ``time.perf_counter`` (whose epoch is unrelated) into any one of them
+#: silently skews deadlines and latency percentiles.
+#: ``tests/service/test_clock_domains.py`` pins this choice.
+CLOCK = time.monotonic
+
 #: How long the dispatcher blocks waiting for a first request before
 #: re-checking for shutdown (seconds).  Purely an idle-loop heartbeat; it
 #: never delays a request.
@@ -44,7 +52,7 @@ class Request:
     kind: str
     payload: object
     future: Future = field(default_factory=Future)
-    enqueued_at: float = field(default_factory=time.perf_counter)
+    enqueued_at: float = field(default_factory=CLOCK)
 
 
 def gather_window(
@@ -71,7 +79,7 @@ def gather_window(
             continue
         if deadline is None:
             break
-        remaining = deadline - time.perf_counter()
+        remaining = deadline - CLOCK()
         if remaining <= 0:
             break
         request = queue.get(timeout=remaining)

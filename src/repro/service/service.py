@@ -43,7 +43,6 @@ for real parallelism.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional
 
@@ -59,7 +58,7 @@ from ..core.sharded import ShardedCuckooGraph
 from ..interfaces import DynamicGraphStore
 from ..persist.store import PersistentStore
 from ..replicate import FRESHNESS_POLICIES, ReplicationGroup
-from .batcher import Request, gather_window, split_runs
+from .batcher import CLOCK, Request, gather_window, split_runs
 from .errors import QueueFullError, ServiceClosedError, ServiceError
 from .metrics import ServiceMetrics
 from .queue import POLICIES, BoundedRequestQueue
@@ -375,7 +374,7 @@ class GraphService:
             try:
                 store = self._read_store()
             except Exception as exc:
-                now = time.perf_counter()
+                now = CLOCK()
                 for request in live:
                     request.future.set_exception(exc)
                     self.metrics.record_failed(now - request.enqueued_at)
@@ -389,7 +388,7 @@ class GraphService:
         try:
             results, store_calls = self._execute_batch(kind, live)
         except Exception as exc:  # route the failure to every caller in the run
-            now = time.perf_counter()
+            now = CLOCK()
             for request in live:
                 request.future.set_exception(exc)
                 self.metrics.record_failed(now - request.enqueued_at)
@@ -405,7 +404,7 @@ class GraphService:
                 self._durable_sync()
             except Exception as exc:
                 self._durability_failed = exc
-                now = time.perf_counter()
+                now = CLOCK()
                 for request in live:
                     request.future.set_exception(exc)
                     self.metrics.record_failed(now - request.enqueued_at)
@@ -418,7 +417,7 @@ class GraphService:
             # the whole history in the in-process channels.
             self._replication.advance()
         self.metrics.record_batch(len(live), store_calls=store_calls)
-        now = time.perf_counter()
+        now = CLOCK()
         for request, value in zip(live, results):
             request.future.set_result(value)
             self.metrics.record_resolved(now - request.enqueued_at)
@@ -476,7 +475,7 @@ class GraphService:
             result = handler(store, *args, engine=engine, **kwargs)
         except Exception as exc:
             request.future.set_exception(exc)
-            self.metrics.record_failed(time.perf_counter() - request.enqueued_at)
+            self.metrics.record_failed(CLOCK() - request.enqueued_at)
             return
         request.future.set_result(result)
-        self.metrics.record_resolved(time.perf_counter() - request.enqueued_at)
+        self.metrics.record_resolved(CLOCK() - request.enqueued_at)

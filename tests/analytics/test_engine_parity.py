@@ -71,7 +71,10 @@ def store(request):
     built = ALL_STORE_FACTORIES[request.param]()
     for u, v in EDGES:
         built.insert_edge(u, v)
-    return built
+    yield built
+    close = getattr(built, "close", None)
+    if callable(close):
+        close()
 
 
 # --------------------------------------------------------------------- #

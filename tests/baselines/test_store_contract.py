@@ -18,7 +18,11 @@ from ..conftest import ALL_STORE_FACTORIES
 
 @pytest.fixture(params=sorted(ALL_STORE_FACTORIES), ids=sorted(ALL_STORE_FACTORIES))
 def store(request) -> DynamicGraphStore:
-    return ALL_STORE_FACTORIES[request.param]()
+    built = ALL_STORE_FACTORIES[request.param]()
+    yield built
+    close = getattr(built, "close", None)
+    if callable(close):
+        close()
 
 
 class TestContract:
@@ -120,19 +124,24 @@ _DEDUP_SEMANTICS_STORES = sorted(set(ALL_STORE_FACTORIES) - {"WeightedCuckooGrap
 def test_any_store_matches_reference_model(ops, name):
     """Property: every store implements identical dedup edge-set semantics."""
     store = ALL_STORE_FACTORIES[name]()
-    model: dict[int, set[int]] = defaultdict(set)
-    for action, u, v in ops:
-        if action == "insert":
-            assert store.insert_edge(u, v) is (v not in model[u])
-            model[u].add(v)
-        elif action == "delete":
-            assert store.delete_edge(u, v) is (v in model[u])
-            model[u].discard(v)
-        else:
-            assert store.has_edge(u, v) is (v in model[u])
-    expected = sorted((u, v) for u, vs in model.items() for v in vs)
-    assert sorted(store.edges()) == expected
-    assert store.num_edges == len(expected)
+    try:
+        model: dict[int, set[int]] = defaultdict(set)
+        for action, u, v in ops:
+            if action == "insert":
+                assert store.insert_edge(u, v) is (v not in model[u])
+                model[u].add(v)
+            elif action == "delete":
+                assert store.delete_edge(u, v) is (v in model[u])
+                model[u].discard(v)
+            else:
+                assert store.has_edge(u, v) is (v in model[u])
+        expected = sorted((u, v) for u, vs in model.items() for v in vs)
+        assert sorted(store.edges()) == expected
+        assert store.num_edges == len(expected)
+    finally:
+        close = getattr(store, "close", None)
+        if callable(close):
+            close()
 
 
 def test_deletion_order_independence(small_edge_set):
@@ -140,11 +149,16 @@ def test_deletion_order_independence(small_edge_set):
     rng = random.Random(11)
     for name, factory in ALL_STORE_FACTORIES.items():
         store = factory()
-        for u, v in small_edge_set:
-            store.insert_edge(u, v)
-        order = list(small_edge_set)
-        rng.shuffle(order)
-        for u, v in order:
-            assert store.delete_edge(u, v), name
-        assert store.num_edges == 0, name
-        assert list(store.edges()) == [], name
+        try:
+            for u, v in small_edge_set:
+                store.insert_edge(u, v)
+            order = list(small_edge_set)
+            rng.shuffle(order)
+            for u, v in order:
+                assert store.delete_edge(u, v), name
+            assert store.num_edges == 0, name
+            assert list(store.edges()) == [], name
+        finally:
+            close = getattr(store, "close", None)
+            if callable(close):
+                close()

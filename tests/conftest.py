@@ -28,6 +28,13 @@ ALL_STORE_FACTORIES = {
     "CuckooGraph": CuckooGraph,
     "WeightedCuckooGraph": WeightedCuckooGraph,
     "ShardedCuckooGraph": lambda: ShardedCuckooGraph(num_shards=4),
+    # The process-backed executor: shard state lives in two long-lived
+    # worker processes, every operation crosses the shard RPC.  Running the
+    # whole contract matrix against it is what keeps the RPC paths (single
+    # ops included) observably identical to the in-process executors.
+    "ShardedCuckooGraph-procs": lambda: ShardedCuckooGraph(
+        num_shards=4, executor="processes", max_workers=2
+    ),
     "PersistentStore": lambda: PersistentStore(
         store=CuckooGraph(), sync_on_commit=False, own_store=True
     ),

@@ -16,9 +16,11 @@ and membership answers.
 
 The second half of the module differentially tests the sharded store's
 *executor*: the same randomized batches driven through
-``executor="serial"`` and ``executor="threads"`` must produce identical
-results, edge state, aggregated counters and modelled accesses -- the
-threaded fan-out may only change wall-clock, never observables.
+``executor="serial"``, ``executor="threads"`` and ``executor="processes"``
+must produce identical results, edge state, aggregated counters and
+modelled accesses -- the fan-out strategy (in-process, thread pool, or
+worker processes speaking the WAL op encoding over pipes) may only change
+wall-clock, never observables.
 """
 
 import random
@@ -189,3 +191,60 @@ def test_threaded_executor_agrees_with_oracle():
         for u in range(NODE_RANGE):
             assert sorted(fanned[u]) == sorted(oracle.successors(u))
     threaded.close()
+
+
+# --------------------------------------------------------------------- #
+# Serial vs threads vs processes: all three executors, byte-identical
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [3, 17, 20260807])
+@pytest.mark.parametrize("num_shards", [2, 5])
+def test_process_executor_matches_serial_and_threads(seed, num_shards):
+    """The process-backed executor is observably identical to the others.
+
+    Per-shard state lives in worker processes and every batch crosses the
+    WAL-encoded shard RPC, yet results, edge state, shard sizes, aggregated
+    counters, modelled accesses and structure summaries must match the
+    in-process executors exactly -- crossing a pipe may not change a single
+    observable bit.
+    """
+    rng = random.Random(seed)
+    serial = ShardedCuckooGraph(num_shards=num_shards, executor="serial")
+    threaded = ShardedCuckooGraph(num_shards=num_shards, executor="threads")
+    procs = ShardedCuckooGraph(num_shards=num_shards, executor="processes")
+    try:
+        for _ in range(8):
+            batch = random_batch(rng, rng.randrange(10, 150))
+            inserts = [(u, v) for action, u, v in batch if action == "insert"]
+            deletes = [(u, v) for action, u, v in batch if action == "delete"]
+            queries = [(u, v) for action, u, v in batch if action == "query"]
+
+            inserted = serial.insert_edges(inserts)
+            assert threaded.insert_edges(inserts) == inserted
+            assert procs.insert_edges(inserts) == inserted
+            deleted = serial.delete_edges(deletes)
+            assert threaded.delete_edges(deletes) == deleted
+            assert procs.delete_edges(deletes) == deleted
+            answers = serial.has_edges(queries)
+            assert threaded.has_edges(queries) == answers
+            assert procs.has_edges(queries) == answers
+
+            frontier = [rng.randrange(NODE_RANGE) for _ in range(25)]
+            fanout = serial.successors_many(frontier)
+            assert threaded.successors_many(frontier) == fanout
+            procs_fanout = procs.successors_many(frontier)
+            assert procs_fanout == fanout
+            # Same key order, not just the same mapping (batch contract).
+            assert list(procs_fanout) == list(fanout)
+
+            assert sorted(procs.edges()) == sorted(serial.edges())
+            assert procs.num_edges == serial.num_edges
+            assert procs.shard_sizes() == serial.shard_sizes()
+            assert procs.accesses == serial.accesses == threaded.accesses
+            assert procs.counters.snapshot() == serial.counters.snapshot() \
+                == threaded.counters.snapshot()
+        assert procs.structure_summary() == serial.structure_summary()
+    finally:
+        procs.close()
+        threaded.close()

@@ -140,18 +140,24 @@ def assert_final_state(store, oracle: Oracle, context: str) -> None:
 def test_fuzz_store_matrix(store_name, fuzz_seed):
     """Every per-op result of every store must match the oracle, op by op."""
     store = ALL_STORE_FACTORIES[store_name]()
-    oracle = Oracle(weighted=isinstance(store, WeightedGraphStore))
-    for index, op in enumerate(generate_ops(fuzz_seed)):
-        expected = oracle.apply(op)
-        actual = apply_to_store(store, op)
-        if op[0] == "successors":
-            actual = sorted(actual)
-            expected = sorted(expected)
-        assert actual == expected, (
-            f"seed={fuzz_seed} store={store_name} op#{index}={op}: "
-            f"got {actual!r}, oracle says {expected!r}"
-        )
-    assert_final_state(store, oracle, f"seed={fuzz_seed} store={store_name}")
+    try:
+        oracle = Oracle(weighted=isinstance(store, WeightedGraphStore))
+        for index, op in enumerate(generate_ops(fuzz_seed)):
+            expected = oracle.apply(op)
+            actual = apply_to_store(store, op)
+            if op[0] == "successors":
+                actual = sorted(actual)
+                expected = sorted(expected)
+            assert actual == expected, (
+                f"seed={fuzz_seed} store={store_name} op#{index}={op}: "
+                f"got {actual!r}, oracle says {expected!r}"
+            )
+        assert_final_state(store, oracle,
+                           f"seed={fuzz_seed} store={store_name}")
+    finally:
+        close = getattr(store, "close", None)
+        if callable(close):
+            close()
 
 
 # --------------------------------------------------------------------- #
@@ -159,7 +165,7 @@ def test_fuzz_store_matrix(store_name, fuzz_seed):
 # --------------------------------------------------------------------- #
 
 
-@pytest.mark.parametrize("executor", ["serial", "threads"])
+@pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
 @pytest.mark.parametrize("num_shards", [1, 4])
 def test_fuzz_sharded_batched(num_shards, executor, fuzz_seed):
     """Random per-kind batches through the batch APIs agree with the oracle."""
@@ -197,7 +203,7 @@ def test_fuzz_sharded_batched(num_shards, executor, fuzz_seed):
 # --------------------------------------------------------------------- #
 
 
-@pytest.mark.parametrize("executor", ["serial", "threads"])
+@pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
 def test_fuzz_graph_service(executor, fuzz_seed):
     """Service futures must resolve to exactly the oracle's per-op results.
 
@@ -242,6 +248,7 @@ def test_fuzz_graph_service(executor, fuzz_seed):
         assert summary["failed"] == 0, context
     finally:
         service.close()
+        store.close()
 
 
 # --------------------------------------------------------------------- #

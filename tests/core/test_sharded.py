@@ -165,7 +165,7 @@ class TestExecutor:
 
     def test_invalid_executor_rejected(self):
         with pytest.raises(ConfigurationError):
-            ShardedCuckooGraph(num_shards=2, executor="processes")
+            ShardedCuckooGraph(num_shards=2, executor="fibers")
 
     def test_serial_is_the_default_and_creates_no_pool(self, small_edge_set):
         graph = ShardedCuckooGraph(num_shards=4)
@@ -229,7 +229,7 @@ class TestCloseLifecycle:
     transitions to a terminal closed state instead.
     """
 
-    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
     def test_close_is_idempotent(self, executor, small_edge_set):
         graph = ShardedCuckooGraph(num_shards=4, executor=executor)
         graph.insert_edges(small_edge_set[:50])
@@ -237,7 +237,7 @@ class TestCloseLifecycle:
         graph.close()  # second close must be a no-op, not an error
         assert graph.closed
 
-    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
     def test_batch_calls_after_close_raise(self, executor, small_edge_set):
         graph = ShardedCuckooGraph(num_shards=4, executor=executor)
         graph.insert_edges(small_edge_set[:50])
@@ -252,6 +252,9 @@ class TestCloseLifecycle:
             graph.successors_many([1])
 
     def test_single_operation_reads_survive_close(self, small_edge_set):
+        # threads only: closing merely drops the pool, the in-process shard
+        # state is still readable.  The process executor has no such state
+        # (see TestProcessExecutor.test_close_is_fully_terminal).
         graph = ShardedCuckooGraph(num_shards=4, executor="threads")
         graph.insert_edges(small_edge_set[:50])
         graph.close()
@@ -264,6 +267,137 @@ class TestCloseLifecycle:
         graph = ShardedCuckooGraph(num_shards=2, executor="threads")
         graph.close()
         assert graph.closed and graph._pool is None
+
+
+class TestProcessExecutor:
+    """Process-backed shards: equivalence, lifecycle and crash handling.
+
+    Unlike ``threads``, the shard state lives in long-lived worker
+    processes and every operation -- single ops included -- crosses the
+    WAL-op-encoded shard RPC.  These tests pin the executor-specific
+    guarantees; byte-identical observables across all three executors are
+    enforced by ``tests/core/test_differential.py`` and the fuzz lanes.
+    """
+
+    def test_batches_and_single_ops_match_serial(self, small_edge_set, reference):
+        serial = ShardedCuckooGraph(num_shards=4)
+        with ShardedCuckooGraph(num_shards=4, executor="processes") as procs:
+            assert procs.insert_edges(small_edge_set) == \
+                serial.insert_edges(small_edge_set)
+            assert procs.has_edges(small_edge_set) == \
+                serial.has_edges(small_edge_set)
+            adjacency = reference(small_edge_set)
+            fanned = procs.successors_many(list(adjacency))
+            assert fanned == serial.successors_many(list(adjacency))
+            for u, v in small_edge_set[:40]:
+                assert procs.has_edge(u, v) == serial.has_edge(u, v)
+                assert procs.out_degree(u) == serial.out_degree(u)
+                assert sorted(procs.successors(u)) == sorted(serial.successors(u))
+                assert procs.has_node(u) == serial.has_node(u)
+            assert procs.delete_edges(small_edge_set[:300]) == \
+                serial.delete_edges(small_edge_set[:300]) == 300
+            assert sorted(procs.edges()) == sorted(serial.edges())
+            assert sorted(procs.source_nodes()) == sorted(serial.source_nodes())
+            assert procs.num_edges == serial.num_edges
+            assert procs.num_source_nodes == serial.num_source_nodes
+            assert procs.shard_sizes() == serial.shard_sizes()
+            assert procs.memory_bytes() > 0
+
+    def test_counters_and_accesses_match_serial(self, small_edge_set):
+        serial = ShardedCuckooGraph(num_shards=4)
+        with ShardedCuckooGraph(num_shards=4, executor="processes") as procs:
+            serial.insert_edges(small_edge_set)
+            procs.insert_edges(small_edge_set)
+            serial.has_edges(small_edge_set)
+            procs.has_edges(small_edge_set)
+            assert procs.counters.snapshot() == serial.counters.snapshot()
+            assert procs.accesses == serial.accesses
+            procs.reset_accesses()
+            assert procs.accesses == 0
+            summary = procs.structure_summary()
+            assert summary["num_shards"] == 4
+            assert summary["num_edges"] == serial.num_edges
+
+    def test_spawn_empty_preserves_executor_and_workers(self):
+        with ShardedCuckooGraph(num_shards=4, executor="processes",
+                                max_workers=2) as graph:
+            graph.insert_edge(1, 2)
+            fresh = graph.spawn_empty()
+            try:
+                assert fresh.executor == "processes"
+                assert fresh.num_shards == 4
+                assert fresh._procs is not None
+                assert len(fresh._procs.workers) == 2
+                assert fresh.num_edges == 0
+                assert fresh.insert_edge(1, 2) is True
+                assert graph.num_edges == 1
+            finally:
+                fresh.close()
+
+    def test_close_is_fully_terminal(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor="processes")
+        graph.insert_edges(small_edge_set[:50])
+        graph.close()
+        graph.close()  # idempotent
+        assert graph.closed
+        u, v = small_edge_set[0]
+        # The shard state died with the workers: even single-op reads must
+        # fail loudly instead of answering from nothing.
+        with pytest.raises(StoreClosedError):
+            graph.has_edge(u, v)
+        with pytest.raises(StoreClosedError):
+            graph.successors(u)
+        with pytest.raises(StoreClosedError):
+            graph.insert_edge(9, 9)
+
+    def test_worker_crash_surfaces_as_store_closed(self, small_edge_set):
+        graph = ShardedCuckooGraph(num_shards=4, executor="processes",
+                                   max_workers=2)
+        try:
+            graph.insert_edges(small_edge_set[:100])
+            victim = graph._procs.workers[0].process
+            victim.kill()
+            victim.join(timeout=10)
+            with pytest.raises(StoreClosedError):
+                # Touch every shard so the dead worker is definitely hit.
+                graph.has_edges(small_edge_set[:100])
+            # The pool is dead for good, not limping on one worker.
+            with pytest.raises(StoreClosedError):
+                graph.insert_edge(1, 2)
+        finally:
+            graph.close()
+
+    def test_shard_factory_rejected(self):
+        from repro import WeightedCuckooGraph
+
+        with pytest.raises(ConfigurationError):
+            ShardedCuckooGraph(num_shards=2, executor="processes",
+                               shard_factory=WeightedCuckooGraph)
+
+    def test_weighted_process_shards(self):
+        with ShardedCuckooGraph(num_shards=4, weighted=True,
+                                executor="processes") as graph:
+            assert graph.insert_weighted_edge(1, 2) == 1
+            assert graph.insert_weighted_edge(1, 2) == 2
+            assert graph.edge_weight(1, 2) == 2
+            assert graph.delete_edge(1, 2) is False  # decrements to weight 1
+            assert graph.has_edge(1, 2)
+            assert graph.delete_edge(1, 2) is True
+            assert not graph.has_edge(1, 2)
+            for u in range(30):
+                graph.insert_weighted_edge(u, u + 1)
+                graph.insert_weighted_edge(u, u + 1)
+            assert sorted(graph.weighted_edges()) == \
+                [(u, u + 1, 2) for u in range(30)]
+
+    def test_fewer_workers_than_shards(self, small_edge_set):
+        with ShardedCuckooGraph(num_shards=8, executor="processes",
+                                max_workers=3) as graph:
+            serial = ShardedCuckooGraph(num_shards=8)
+            assert graph.insert_edges(small_edge_set) == \
+                serial.insert_edges(small_edge_set)
+            assert sorted(graph.edges()) == sorted(serial.edges())
+            assert len(graph._procs.workers) == 3
 
 
 class TestWeightedSharding:

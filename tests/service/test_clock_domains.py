@@ -1,0 +1,73 @@
+"""Regression: every service timestamp comes from one monotonic clock.
+
+The bug this pins down: ``Request.enqueued_at`` used to be stamped with
+``time.perf_counter`` while the dispatcher measured resolve times and
+window deadlines with ``time.monotonic``.  The two clocks tick at the same
+rate but have unrelated epochs, so the subtraction ``now - enqueued_at``
+was an epoch difference, not a latency -- producing arbitrarily skewed
+latency percentiles and window deadlines whenever the epochs diverge
+(they do on most platforms).
+
+The fix is a single module-level ``CLOCK = time.monotonic`` in
+``repro.service.batcher`` that the request stamp, the window deadline and
+every latency sample read.  These tests make the clock-domain mix-up
+reproducible by skewing ``time.perf_counter`` far away from
+``time.monotonic`` and asserting nothing in the service notices.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ShardedCuckooGraph
+from repro.service import GraphService
+from repro.service import batcher
+from repro.service.batcher import CLOCK, Request
+
+#: A skew enormously larger than any sane request latency: if any service
+#: timestamp secretly reads perf_counter, a latency sample or deadline
+#: computed against monotonic jumps by about this much.
+SKEW_S = 1e6
+
+
+def test_clock_is_monotonic():
+    """The service clock is time.monotonic itself, not a lookalike."""
+    assert CLOCK is time.monotonic
+    assert batcher.CLOCK is time.monotonic
+
+
+def test_request_stamp_reads_the_service_clock(monkeypatch):
+    """``enqueued_at`` must lie between two surrounding CLOCK readings."""
+    monkeypatch.setattr(time, "perf_counter", lambda: time.monotonic() + SKEW_S)
+    before = time.monotonic()
+    stamp = Request(kind="has", payload=(1, 2)).enqueued_at
+    after = time.monotonic()
+    assert before <= stamp <= after
+
+
+def test_latencies_are_sane_under_perf_counter_skew(monkeypatch):
+    """End to end: a skewed perf_counter must not poison latency metrics.
+
+    Before the fix, requests were stamped with ``perf_counter`` and
+    resolved against ``monotonic``; with the epochs pushed ``SKEW_S``
+    apart, every latency sample came out around ``±SKEW_S`` seconds.  With
+    one clock, the samples stay what they are: small non-negative numbers.
+    """
+    monkeypatch.setattr(time, "perf_counter", lambda: time.monotonic() + SKEW_S)
+    with ShardedCuckooGraph(num_shards=2) as store:
+        service = GraphService(store, max_batch=16, max_delay_s=0.005)
+        service.start()
+        try:
+            futures = [service.insert_edge(u, u + 1) for u in range(64)]
+            futures += [service.has_edge(u, u + 1) for u in range(64)]
+            for future in futures:
+                future.result(timeout=30)
+            latency = service.metrics_summary()["latency"]
+        finally:
+            service.close()
+    assert latency["count"] == len(futures)
+    assert 0 <= latency["p50_s"] <= latency["max_s"]
+    # The whole test runs in seconds; a clock-domain mix-up shows up as a
+    # sample on the order of the injected mega-second skew.
+    assert latency["max_s"] < SKEW_S / 2
+    assert latency["p99_s"] < SKEW_S / 2
