@@ -26,12 +26,12 @@ from __future__ import annotations
 import shutil
 import time
 
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_json
 from repro.core import ShardedCuckooGraph
 from repro.persist import LOCK_NAME, PersistentStore, recover
 from repro.service import GraphService
 
-from .conftest import bench_stream, benchmark_callable, write_report
+from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
 
 NUM_SHARDS = 4
 
@@ -212,6 +212,18 @@ def test_fig06e_replication(benchmark, tmp_path):
                 title="Point-in-time recovery: recover(upto=...) replay rate"),
         ]),
     )
+    write_bench_json("fig06e", {
+        "figure": "fig06e_replication",
+        "dataset": "CAIDA",
+        "operations": operations,
+        "num_shards": NUM_SHARDS,
+        "lag_batch_sizes": list(LAG_BATCH_SIZES),
+        "replica_counts": list(REPLICA_COUNTS),
+        "pitr_fractions": list(PITR_FRACTIONS),
+        "lag_rows": lag_rows,
+        "read_rows": read_rows,
+        "pitr_rows": pitr_rows,
+    }, RESULTS_DIR)
 
     # Representative operation: PITR to half the history.
     half = int(total_records * 0.5)

@@ -1,0 +1,113 @@
+"""Incremental analytics quickstart: a live dashboard over a mutating graph.
+
+The ordinary way to put PageRank on a dashboard is to recompute it from
+scratch every refresh -- O(graph) work for a delta of a handful of edges.
+This example runs the alternative shipped in ``repro.analytics.incremental``:
+a durable ``GraphService`` with ``analytics="incremental"`` keeps an
+:class:`~repro.analytics.AnalyticsFollower` attached to the replication
+change feed, and every analytics request folds only the *shipped delta* into
+maintained kernels (PageRank, weakly connected components, degree top-k)
+behind the usual read-your-writes barrier.
+
+The loop below plays five dashboard ticks: mutate a little, query the
+dashboard, print what the maintenance layer actually did (cache hit rate,
+dirty nodes, incremental-vs-recompute decisions).  Every refresh is also
+byte-compared against a from-scratch canonical recompute -- the speed is
+never bought with drift.
+
+Run with ``PYTHONPATH=src python examples/incremental_analytics_quickstart.py``.
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.analytics import TraversalEngine, canonical_pagerank
+from repro.service import GraphClient
+
+COMMUNITIES = 12
+COMMUNITY_SIZE = 30
+EDGES_PER_TICK = 8
+TICKS = 5
+TOP_K = 5
+
+
+def seed_edges(rng: random.Random) -> list[tuple[int, int]]:
+    """A clustered graph: dense communities, a sparse ring between them."""
+    edges = []
+    for community in range(COMMUNITIES):
+        offset = community * COMMUNITY_SIZE
+        edges.extend(
+            (offset + i, offset + (i + 1) % COMMUNITY_SIZE)
+            for i in range(COMMUNITY_SIZE)
+        )
+        edges.extend(
+            (offset + rng.randrange(COMMUNITY_SIZE),
+             offset + rng.randrange(COMMUNITY_SIZE))
+            for _ in range(COMMUNITY_SIZE)
+        )
+    return [(u, v) for u, v in edges if u != v]
+
+
+def tick_mutations(rng: random.Random) -> list[tuple[int, int]]:
+    """A small burst of intra-community churn -- one dashboard tick."""
+    offset = rng.randrange(COMMUNITIES) * COMMUNITY_SIZE
+    return [
+        (offset + rng.randrange(COMMUNITY_SIZE),
+         offset + rng.randrange(COMMUNITY_SIZE))
+        for _ in range(EDGES_PER_TICK)
+    ]
+
+
+def main() -> None:
+    rng = random.Random(7)
+    workspace = Path(tempfile.mkdtemp(prefix="repro-incremental-demo-"))
+
+    with GraphClient.durable(workspace / "dashboard",
+                             analytics="incremental") as client:
+        client.insert_edges(seed_edges(rng))
+        follower = client.service.analytics_follower
+
+        for tick in range(1, TICKS + 1):
+            # Live traffic lands on the primary through the normal write path.
+            mutations = tick_mutations(rng)
+            client.insert_edges(mutations)
+
+            # Dashboard refresh: barrier + delta fold + maintained kernels.
+            ranks = client.pagerank()
+            communities = client.wcc()
+            top = client.top_degree_nodes(TOP_K)
+            # Traversals ride the same replica through the adjacency cache:
+            # only sources the tick dirtied are refetched from the store.
+            reach = client.bfs(top[0])
+
+            # Trust but verify: canonical recompute on the replica is
+            # byte-identical to what the maintained kernels just served.
+            replica = follower.store
+            assert ranks == canonical_pagerank(
+                replica, engine=TraversalEngine(replica))
+
+            leaders = ", ".join(
+                f"{node}:{ranks[node]:.5f}" for node in top)
+            print(f"tick {tick}: +{len(mutations)} edges -> "
+                  f"{len(communities)} components, top-{TOP_K} [{leaders}], "
+                  f"{len(reach)} nodes reachable from {top[0]}")
+
+        analytics = client.service.metrics_summary()["analytics"]
+        cache = analytics["cache"]
+        print(f"\nmaintenance: {analytics['runs']} refreshes, decisions "
+              f"{analytics['decisions']}, dirty nodes mean "
+              f"{analytics['dirty_nodes_mean']:.1f} / max "
+              f"{analytics['dirty_nodes_max']}")
+        print(f"adjacency cache: hit rate {cache['hit_rate']:.3f} "
+              f"({cache['hits']} hits, {cache['refetched']} refetched "
+              f"across {cache['refreshes']} refreshes)")
+        stats = follower.analytics_stats()
+        print(f"kernels: pagerank decisions {stats['kernels']['pagerank']}, "
+              f"pagerank nodes re-evaluated "
+              f"{stats['pagerank_nodes_recomputed']}, component nodes "
+              f"recomputed {stats['components_nodes_recomputed']}")
+
+
+if __name__ == "__main__":
+    main()

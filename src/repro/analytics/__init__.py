@@ -16,6 +16,14 @@ byte-identical to the historical per-node implementations (see
 from .betweenness import betweenness_centrality, top_betweenness
 from .bfs import bfs, bfs_from_top_nodes, bfs_levels
 from .engine import TraversalEngine, ensure_engine
+from .incremental import (
+    AnalyticsFollower,
+    CachedTraversalEngine,
+    MaterializationCache,
+    canonical_components,
+    canonical_pagerank,
+    materialize_adjacency,
+)
 from .components import (
     count_components,
     strongly_connected_components,
@@ -38,6 +46,9 @@ from .subgraph import (
 from .triangles import count_triangles, count_triangles_of_node, total_directed_triangles
 
 __all__ = [
+    "AnalyticsFollower",
+    "CachedTraversalEngine",
+    "MaterializationCache",
     "TraversalEngine",
     "all_local_clustering_coefficients",
     "average_clustering",
@@ -46,6 +57,9 @@ __all__ = [
     "ensure_engine",
     "bfs_from_top_nodes",
     "bfs_levels",
+    "canonical_components",
+    "canonical_pagerank",
+    "materialize_adjacency",
     "count_components",
     "count_triangles",
     "count_triangles_of_node",

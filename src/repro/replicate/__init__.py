@@ -29,7 +29,12 @@ Quickstart::
     assert replica.store.has_edge(1, 2)
 """
 
-from .follower import DEFAULT_BARRIER_TIMEOUT_S, Follower, apply_shipped_ops
+from .follower import (
+    DEFAULT_BARRIER_TIMEOUT_S,
+    DEFAULT_POLL_SLICE_S,
+    Follower,
+    apply_shipped_ops,
+)
 from .group import FRESHNESS_POLICIES, ReplicationGroup
 from .primary import Primary
 from .transport import (
@@ -43,6 +48,7 @@ from .transport import (
 
 __all__ = [
     "DEFAULT_BARRIER_TIMEOUT_S",
+    "DEFAULT_POLL_SLICE_S",
     "FRESHNESS_POLICIES",
     "Follower",
     "GenerationBump",

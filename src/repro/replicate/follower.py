@@ -48,6 +48,11 @@ from .transport import GenerationBump, RecordShipment, ReplicationChannel
 #: How long ``wait_for`` waits for the primary by default (seconds).
 DEFAULT_BARRIER_TIMEOUT_S = 30.0
 
+#: Default poll slice for barriers over channels without send-side
+#: notification (seconds).  Constructor-overridable so tight convergence
+#: loops (the incremental-analytics fuzz lane) do not burn wall-clock.
+DEFAULT_POLL_SLICE_S = 0.05
+
 
 def apply_shipped_ops(store: DynamicGraphStore, ops) -> None:
     """Apply one shipment's decoded operations to a follower store.
@@ -78,6 +83,10 @@ class Follower:
             owning exactly the store this constructor built.  A promoted
             follower never closes the store -- ownership moved to the
             returned :class:`PersistentStore`.
+        poll_slice_s: Longest single sleep :meth:`wait_for` takes against a
+            channel *without* send-side notification (a custom transport
+            that never calls its listener).  Notifying transports ignore
+            it.  Defaults to :data:`DEFAULT_POLL_SLICE_S`.
     """
 
     def __init__(
@@ -86,7 +95,10 @@ class Follower:
         scheme: Union[str, Callable[[], DynamicGraphStore]] = "sharded",
         *,
         own_store: Optional[bool] = None,
+        poll_slice_s: float = DEFAULT_POLL_SLICE_S,
     ):
+        if poll_slice_s <= 0:
+            raise ValueError(f"poll_slice_s must be > 0, got {poll_slice_s}")
         if store is None:
             self._store = _resolve_factory(scheme)()
             self._scheme_name = scheme if isinstance(scheme, str) else None
@@ -94,6 +106,7 @@ class Follower:
             self._store = store
             self._scheme_name = None
         self._own_store = (store is None) if own_store is None else own_store
+        self._poll_slice_s = poll_slice_s
         self._channel: Optional[ReplicationChannel] = None
         self._primary = None
         self._generation = 0
@@ -207,7 +220,7 @@ class Follower:
             self._offsets = [WAL_HEADER_SIZE] * len(self._offsets)
             return
         if isinstance(message, RecordShipment):
-            apply_shipped_ops(self._store, message.ops)
+            self._apply_ops(message.ops)
             self.commit_index = message.commit_index
             self._offsets[message.segment] = message.end_offset
             # Notify on apply: a wait_for blocked in another thread re-checks
@@ -216,6 +229,19 @@ class Follower:
                 self._arrival.notify_all()
             return
         raise ReplicationError(f"unknown replication message {message!r}")
+
+    def _apply_ops(self, ops) -> None:
+        """Apply one shipment's decoded ops to the replica store.
+
+        The seam subclasses hook to observe the change feed: an analytics
+        follower (:class:`repro.analytics.incremental.AnalyticsFollower`)
+        overrides this to also mark the touched source nodes dirty in its
+        materialization cache.  Note that ``Primary.attach``'s backfill
+        writes to the store *directly* (it replays the directory, not the
+        channel), so subclasses must also treat :meth:`_connect` as a full
+        invalidation point.
+        """
+        apply_shipped_ops(self._store, ops)
 
     def poll(self, max_records: Optional[int] = None) -> int:
         """Apply queued shipments without blocking; return how many.
@@ -275,7 +301,7 @@ class Follower:
                     f"{self.commit_index}, waiting for {index}"
                 )
             if not self._channel.notifies_on_send:
-                remaining = min(remaining, 0.05)
+                remaining = min(remaining, self._poll_slice_s)
             with self._arrival:
                 # A message that landed between the poll above and this
                 # acquire already set _arrived; skip the wait and re-drain

@@ -40,19 +40,39 @@ class ReplicationGroup:
         *,
         transport: Optional[ReplicationTransport] = None,
         follower_factory: Optional[Callable[[], DynamicGraphStore]] = None,
+        analytics: bool = False,
+        analytics_kwargs: Optional[dict] = None,
     ):
-        if replicas < 1:
+        if analytics:
+            if replicas < 0:
+                raise ReplicationError(f"replicas must be >= 0, got {replicas}")
+        elif replicas < 1:
             raise ReplicationError(f"replicas must be >= 1, got {replicas}")
+        if analytics_kwargs and not analytics:
+            raise ReplicationError("analytics_kwargs given without analytics=True")
         self._next_replica = 0
         self._closed = False
         self.primary = Primary(store, transport=transport)
         factory = follower_factory or store.store.spawn_empty
         self.followers: List[Follower] = []
+        #: The delta-maintained analytics replica (``None`` unless
+        #: ``analytics=True``).  It rides the same change feed as the plain
+        #: followers but is never in the round-robin read rotation: the
+        #: service routes analytics runs to it explicitly.
+        self.analytics_follower = None
         try:
             for _ in range(replicas):
                 follower = Follower(store=factory(), own_store=True)
                 self.primary.attach(follower)
                 self.followers.append(follower)
+            if analytics:
+                # Imported here: repro.analytics imports this package.
+                from ..analytics.incremental import AnalyticsFollower
+
+                self.analytics_follower = AnalyticsFollower(
+                    store=factory(), own_store=True, **(analytics_kwargs or {})
+                )
+                self.primary.attach(self.analytics_follower)
         except BaseException:
             self.close()
             raise
@@ -67,6 +87,11 @@ class ReplicationGroup:
 
     def next_follower(self) -> Tuple[Follower, int]:
         """Round-robin pick of the replica that serves the next read."""
+        if not self.followers:
+            raise ReplicationError(
+                "no read replicas in this group (analytics-only); "
+                "serve reads from the primary"
+            )
         index = self._next_replica
         self._next_replica = (index + 1) % len(self.followers)
         return self.followers[index], index
@@ -83,6 +108,8 @@ class ReplicationGroup:
         if shipped:
             for follower in self.followers:
                 follower.poll()
+            if self.analytics_follower is not None:
+                self.analytics_follower.poll()
         return shipped
 
     def refresh(self, follower: Follower, freshness: str = "read_your_writes") -> int:
@@ -120,6 +147,8 @@ class ReplicationGroup:
         self._closed = True
         for follower in self.followers:
             follower.close()
+        if self.analytics_follower is not None:
+            self.analytics_follower.close()
         self.primary.close()
 
     def __enter__(self) -> "ReplicationGroup":

@@ -24,10 +24,17 @@ from .client import GraphClient
 from .errors import QueueFullError, ServiceClosedError, ServiceError
 from .metrics import LatencyRecorder, ServiceMetrics, percentile
 from .queue import POLICIES, BoundedRequestQueue
-from .service import ANALYTICS_HANDLERS, DURABILITY_MODES, FRESHNESS_POLICIES, GraphService
+from .service import (
+    ANALYTICS_HANDLERS,
+    ANALYTICS_MODES,
+    DURABILITY_MODES,
+    FRESHNESS_POLICIES,
+    GraphService,
+)
 
 __all__ = [
     "ANALYTICS_HANDLERS",
+    "ANALYTICS_MODES",
     "BoundedRequestQueue",
     "DURABILITY_MODES",
     "FRESHNESS_POLICIES",

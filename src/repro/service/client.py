@@ -208,6 +208,12 @@ class GraphClient(DynamicGraphStore):
         self._ensure_open()
         return self._service.analytics("components", **kwargs).result()
 
+    def wcc(self, **kwargs) -> list[list[int]]:
+        """Weakly connected components in canonical form (delta-maintained
+        when the service runs ``analytics="incremental"``)."""
+        self._ensure_open()
+        return self._service.analytics("wcc", **kwargs).result()
+
     def top_degree_nodes(self, count: int, **kwargs) -> list[int]:
         self._ensure_open()
         return self._service.analytics("top_degree_nodes", count, **kwargs).result()

@@ -82,6 +82,11 @@ class ServiceMetrics:
         self.replication_lag_samples = 0
         self.replication_lag_total = 0
         self.replication_lag_max = 0
+        self.analytics_runs = 0
+        self.analytics_decisions: Dict[str, int] = {}
+        self.analytics_dirty_total = 0
+        self.analytics_dirty_max = 0
+        self.analytics_cache: Dict[str, object] = {}
         self._latency = LatencyRecorder()
 
     # -- submission side ------------------------------------------------ #
@@ -132,6 +137,25 @@ class ServiceMetrics:
             self.replication_lag_total += lag
             self.replication_lag_max = max(self.replication_lag_max, lag)
 
+    def record_analytics_run(self, decision: str, dirty: int,
+                             cache_stats: Dict[str, object]) -> None:
+        """One analytics run served by the incremental follower.
+
+        ``decision`` is what :meth:`refresh_analytics` did for the run
+        (``"primed"`` / ``"clean"`` / ``"incremental"`` / ``"recompute"``),
+        ``dirty`` how many sources the change feed had invalidated when the
+        run arrived, and ``cache_stats`` the materialization cache's
+        cumulative counters (the summary keeps the latest snapshot, whose
+        ``hit_rate`` is the ISSUE's cache-hit-rate figure)."""
+        with self._lock:
+            self.analytics_runs += 1
+            self.analytics_decisions[decision] = (
+                self.analytics_decisions.get(decision, 0) + 1
+            )
+            self.analytics_dirty_total += dirty
+            self.analytics_dirty_max = max(self.analytics_dirty_max, dirty)
+            self.analytics_cache = dict(cache_stats)
+
     # -- reporting ------------------------------------------------------- #
 
     def summary(self) -> Dict[str, object]:
@@ -160,6 +184,17 @@ class ServiceMetrics:
                         if self.replication_lag_samples else 0.0
                     ),
                     "lag_max": self.replication_lag_max,
+                },
+                "analytics": {
+                    "runs": self.analytics_runs,
+                    "decisions": dict(self.analytics_decisions),
+                    "dirty_nodes_total": self.analytics_dirty_total,
+                    "dirty_nodes_max": self.analytics_dirty_max,
+                    "dirty_nodes_mean": (
+                        self.analytics_dirty_total / self.analytics_runs
+                        if self.analytics_runs else 0.0
+                    ),
+                    "cache": dict(self.analytics_cache),
                 },
                 "latency": self._latency.summary(),
             }

@@ -13,7 +13,11 @@ seeded op stream committed through a WAL-wrapped primary,
   (sharded lane);
 * the final follower promotes into a writable store, and the deposed
   primary's stale segments are refused during recovery of the replica
-  directory.
+  directory;
+* (incremental-analytics lane) an :class:`AnalyticsFollower` riding the
+  same stream -- kills and re-attaches included -- produces kernel outputs
+  **byte-identical** to canonical recomputes through a fresh
+  ``TraversalEngine`` on its replica store at every probed commit index.
 """
 
 import random
@@ -22,6 +26,14 @@ import shutil
 import pytest
 
 from repro import ShardedCuckooGraph
+from repro.analytics import (
+    AnalyticsFollower,
+    TraversalEngine,
+    canonical_components,
+    canonical_pagerank,
+    top_degree_nodes,
+    total_degrees,
+)
 from repro.persist import LOCK_NAME, PersistentStore, read_wal_records, recover
 from repro.replicate import Follower, Primary
 
@@ -139,3 +151,83 @@ def test_fuzz_follower_kill_restart_converges(num_shards, fuzz_seed, tmp_path):
         assert sorted(rewound.edges()) == expected, \
             f"{context} upto={wal_position}"
         rewound.close()
+
+
+ANALYTICS_ITERATIONS = 15  # enough sweeps for dirt to travel, fast to recompute
+
+
+def test_fuzz_incremental_analytics_byte_parity(fuzz_seed, tmp_path):
+    """Incremental kernels == canonical recompute at every probed commit index.
+
+    The delta-maintained :class:`AnalyticsFollower` consumes the same seeded
+    op stream as the convergence lane -- including random kills with
+    re-attach, which exercise the full-invalidation path (backfill bypasses
+    the change-feed hook).  At every chunk boundary, all four kernels must
+    be byte-identical (exact ints, bit-exact floats, no tolerance) to fresh
+    ``TraversalEngine`` recomputes on the follower's own replica store, and
+    the replica itself must equal the oracle.
+    """
+    rng = random.Random(fuzz_seed * 31 + 7)
+    ops = generate_ops(fuzz_seed)
+    oracle = Oracle()
+    context = f"seed={fuzz_seed} incremental-analytics"
+
+    def fresh_analytics_replica():
+        return AnalyticsFollower(
+            store=ShardedCuckooGraph(num_shards=2),
+            iterations=ANALYTICS_ITERATIONS,
+            poll_slice_s=0.002,
+        )
+
+    store = PersistentStore(tmp_path / "primary",
+                            store=ShardedCuckooGraph(num_shards=2),
+                            own_store=True, sync_on_commit=False,
+                            compact_wal_bytes=None)
+    primary = Primary(store)
+    follower = fresh_analytics_replica()
+    primary.attach(follower)
+
+    try:
+        position = 0
+        while position < len(ops):
+            chunk = ops[position:position + rng.randrange(20, 90)]
+            position += len(chunk)
+            inserts = [(u, v) for a, u, v in chunk if a == "insert"]
+            deletes = [(u, v) for a, u, v in chunk if a == "delete"]
+            store.insert_edges(inserts)
+            store.delete_edges(deletes)
+            for u, v in inserts:
+                oracle.insert(u, v)
+            for u, v in deletes:
+                oracle.delete(u, v)
+            primary.sync_and_pump()
+
+            if rng.random() < 0.30:
+                # Kill: cached adjacency and kernel state die with the
+                # follower; the re-attached replica is backfilled directly
+                # (no per-op dirty marks) and must still be exact.
+                follower.close()
+                follower = fresh_analytics_replica()
+                primary.attach(follower)
+            follower.wait_for(primary.commit_index)
+
+            probe = f"{context} probe@{follower.commit_index}"
+            assert_final_state(follower.store, oracle, probe)
+            replica = follower.store
+            assert follower.pagerank() == canonical_pagerank(
+                replica, iterations=ANALYTICS_ITERATIONS,
+                engine=TraversalEngine(replica)), f"{probe} pagerank"
+            assert follower.components() == canonical_components(
+                replica, engine=TraversalEngine(replica)), f"{probe} wcc"
+            assert follower.total_degrees() == dict(total_degrees(
+                replica, engine=TraversalEngine(replica))), f"{probe} degrees"
+            assert follower.top_degree_nodes(8) == top_degree_nodes(
+                replica, 8, engine=TraversalEngine(replica)), f"{probe} top-k"
+
+        stats = follower.analytics_stats()
+        assert stats["decisions"]["primed"] >= 1, context
+        assert stats["cache"]["refreshes"] >= 1, context
+    finally:
+        follower.close()
+        primary.close()
+        store.close()

@@ -1,0 +1,214 @@
+"""GraphService(analytics="incremental"): routing, parity, metrics, lifecycle.
+
+Covers the service-layer half of the incremental analytics work:
+
+* analytics runs are served by the delta-maintained
+  :class:`~repro.analytics.AnalyticsFollower` behind the configured
+  freshness barrier, byte-identical to canonical recomputes on the
+  follower's replica at the same commit index;
+* ``replicas=0`` works (analytics-only group; plain reads stay on the
+  primary) and the constructor validates its inputs;
+* ``ServiceMetrics`` grows an "analytics" section with cache hit rate,
+  dirty-node counts and incremental-vs-recompute decisions;
+* the TraversalEngine counter-lifecycle audit: every analytics run -- in
+  both ``"engine"`` and ``"incremental"`` modes -- executes on a *fresh*
+  engine whose ``batch_calls`` accounting starts at zero, so no run
+  inherits a prior run's counters.
+"""
+
+import pytest
+
+from repro.analytics import (
+    TraversalEngine,
+    canonical_components,
+    canonical_pagerank,
+    top_degree_nodes,
+)
+from repro.core.sharded import ShardedCuckooGraph
+from repro.persist import PersistentStore
+from repro.service import ANALYTICS_HANDLERS, GraphClient, GraphService
+
+
+def durable_store():
+    return PersistentStore(None, scheme="sharded", sync_on_commit=False,
+                           compact_wal_bytes=None)
+
+
+def drain(service):
+    """Quiesce the dispatcher (all submitted futures resolved)."""
+    service.analytics("top_degree_nodes", 1).result()
+
+
+class TestIncrementalRouting:
+    def test_kernels_match_canonical_recompute_between_mutation_rounds(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental", replicas=1) as service:
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (2, 3), (3, 1), (4, 5)])
+            for round_no in range(3):
+                client.insert_edges([(round_no + 6, 1), (3, round_no + 20)])
+                client.delete_edge(4, 5)
+                client.insert_edge(4, 5)
+                pagerank = client.pagerank()
+                wcc = client.wcc()
+                top = client.top_degree_nodes(4)
+                replica = service.analytics_follower.store
+                engine = TraversalEngine(replica)
+                assert pagerank == canonical_pagerank(replica, engine=engine)
+                assert wcc == canonical_components(
+                    replica, engine=TraversalEngine(replica))
+                assert top == top_degree_nodes(
+                    replica, 4, engine=TraversalEngine(replica))
+        store.close()
+
+    def test_read_your_writes_visible_immediately(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental") as service:
+            client = GraphClient(service)
+            client.insert_edge(7, 8)
+            assert [7, 8] in client.wcc()  # the barrier closed the gap
+        store.close()
+
+    def test_analytics_only_group_serves_reads_from_primary(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental", replicas=0) as service:
+            assert service.replication is not None
+            assert service.replication.replicas == 0
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (2, 3)])
+            assert client.has_edge(1, 2)
+            assert client.successors(2) == [3]
+            assert client.wcc() == [[1, 2, 3]]
+            summary = service.metrics_summary()
+            assert summary["replication"]["replica_reads"] == {}
+            assert summary["analytics"]["runs"] >= 1
+        store.close()
+
+    def test_custom_pagerank_parameters_fall_back_to_canonical_recompute(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental") as service:
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (2, 3), (3, 1)])
+            replica = service.analytics_follower.store
+            drain(service)
+            assert client.pagerank(iterations=7) == canonical_pagerank(
+                replica, 7, engine=TraversalEngine(replica))
+            assert client.pagerank(iterations=13, damping=0.5) == \
+                canonical_pagerank(replica, 13, 0.5,
+                                   engine=TraversalEngine(replica))
+        store.close()
+
+    def test_engine_mode_also_serves_wcc(self):
+        with GraphService() as service:
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (5, 6)])
+            assert client.wcc() == [[1, 2], [5, 6]]
+
+    def test_scc_still_served_through_cache_backed_engine(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental") as service:
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (2, 1), (2, 3)])
+            scc = client.components()
+            assert sorted(sorted(c) for c in scc) == [[1, 2], [3]]
+        store.close()
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="analytics"):
+            GraphService(analytics="magic")
+
+    def test_incremental_requires_persistent_store(self):
+        store = ShardedCuckooGraph(num_shards=2)
+        try:
+            with pytest.raises(ValueError, match="PersistentStore"):
+                GraphService(store, analytics="incremental")
+        finally:
+            store.close()
+
+
+class TestAnalyticsMetrics:
+    def test_summary_reports_cache_and_decisions(self):
+        store = durable_store()
+        with GraphService(store, analytics="incremental") as service:
+            client = GraphClient(service)
+            client.insert_edges([(1, 2), (2, 3), (3, 4)])
+            client.pagerank()                      # primes
+            client.pagerank()                      # clean
+            client.insert_edge(4, 5)
+            client.top_degree_nodes(3)             # folds the delta
+            analytics = service.metrics_summary()["analytics"]
+            assert analytics["runs"] >= 3
+            assert analytics["decisions"].get("primed", 0) >= 1
+            assert analytics["decisions"].get("clean", 0) >= 1
+            assert set(analytics["decisions"]) <= {
+                "primed", "clean", "incremental", "recompute"}
+            assert analytics["dirty_nodes_total"] >= 1
+            cache = analytics["cache"]
+            assert cache["primes"] >= 1
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+        store.close()
+
+    def test_engine_mode_analytics_section_stays_empty(self):
+        with GraphService() as service:
+            client = GraphClient(service)
+            client.insert_edge(1, 2)
+            client.pagerank()
+            analytics = service.metrics_summary()["analytics"]
+            assert analytics["runs"] == 0
+            assert analytics["decisions"] == {}
+
+
+class TestEngineCounterLifecycle:
+    """Satellite audit: no analytics run inherits a prior run's counters."""
+
+    @staticmethod
+    def _install_probe(captured):
+        def probe(store, *args, engine=None, **kwargs):
+            captured.append((engine, engine.batch_calls,
+                             engine.expand_calls, engine.probe_calls))
+            # Do real engine work so counters would accumulate if shared.
+            engine.materialize()
+            return engine.batch_calls
+
+        ANALYTICS_HANDLERS["counter_probe"] = probe
+        return probe
+
+    def _assert_fresh_engines(self, captured):
+        engines = [entry[0] for entry in captured]
+        assert len(set(map(id, engines))) == len(engines), \
+            "analytics runs shared a TraversalEngine instance"
+        for engine, batch_calls, expand_calls, probe_calls in captured:
+            assert batch_calls == 0, "run started with inherited batch_calls"
+            assert expand_calls == 0 and probe_calls == 0
+
+    def test_engine_mode_runs_get_fresh_counters(self):
+        captured = []
+        self._install_probe(captured)
+        try:
+            with GraphService() as service:
+                client = GraphClient(service)
+                client.insert_edges([(1, 2), (2, 3)])
+                for _ in range(3):
+                    service.analytics("counter_probe").result()
+            self._assert_fresh_engines(captured)
+        finally:
+            ANALYTICS_HANDLERS.pop("counter_probe", None)
+
+    def test_incremental_mode_runs_get_fresh_counters(self):
+        captured = []
+        self._install_probe(captured)
+        store = durable_store()
+        try:
+            with GraphService(store, analytics="incremental") as service:
+                client = GraphClient(service)
+                client.insert_edges([(1, 2), (2, 3)])
+                for _ in range(3):
+                    service.analytics("counter_probe").result()
+                client.insert_edge(3, 4)
+                service.analytics("counter_probe").result()
+            self._assert_fresh_engines(captured)
+        finally:
+            ANALYTICS_HANDLERS.pop("counter_probe", None)
+            store.close()
