@@ -13,6 +13,11 @@ in front of it:
   a pipelined read mix (membership + successors) with 0 (primary-only),
   1, 2 and 4 read replicas under the read-your-writes barrier, with the
   round-robin fan-out visible in the per-replica read counts;
+* **Ship throughput vs transport** -- the same committed history shipped to
+  one replica through the in-process queue channel vs a real TCP socket
+  (:class:`~repro.replicate.ReplicationServer` +
+  :class:`~repro.replicate.RemoteFollower`): commits and edges per second
+  until the replica converges, i.e. what the wire costs over shared memory;
 * **PITR replay rate** -- ``recover(upto=...)`` rewinding a copied directory
   to 25% / 50% / 100% of its group commits: commits and edges per second
   of point-in-time recovery.
@@ -29,6 +34,7 @@ import time
 from repro.bench import format_table, write_bench_json
 from repro.core import ShardedCuckooGraph
 from repro.persist import LOCK_NAME, PersistentStore, recover
+from repro.replicate import Follower, Primary, RemoteFollower, ReplicationServer
 from repro.service import GraphService
 
 from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
@@ -40,6 +46,12 @@ LAG_BATCH_SIZES = (16, 128, 512)
 
 #: Replica counts for the read-throughput sweep (0 = primary serves reads).
 REPLICA_COUNTS = (0, 1, 2, 4)
+
+#: Transport lanes for the shipping sweep (queue channel vs TCP socket).
+TRANSPORT_LANES = ("inprocess", "socket")
+
+#: Edges per group commit in the transport-shipping sweep.
+SHIP_COMMIT_OPS = 256
 
 #: Group-commit batch size used to build the PITR history.
 PITR_COMMIT_OPS = 64
@@ -137,6 +149,46 @@ def test_fig06e_replication(benchmark, tmp_path):
             assert len(fanout) == replicas
     assert read_rows[0]["replica_reads"] == "-"  # primary-only baseline
 
+    # ---------------- ship throughput vs transport ---------------------- #
+    # Same commit pacing on both lanes; the only variable is the channel:
+    # the in-process queue vs a length-prefixed CRC-framed TCP stream.
+    transport_rows = []
+    for lane in TRANSPORT_LANES:
+        store = _durable(tmp_path, f"ship-{lane}")
+        primary = Primary(store)
+        server = None
+        if lane == "socket":
+            server = ReplicationServer(primary)
+            follower = RemoteFollower(
+                server.address,
+                store=ShardedCuckooGraph(num_shards=NUM_SHARDS))
+        else:
+            follower = Follower(store=ShardedCuckooGraph(num_shards=NUM_SHARDS))
+            primary.attach(follower)
+        start = time.perf_counter()
+        for start_index in range(0, operations, SHIP_COMMIT_OPS):
+            store.insert_edges(edges[start_index:start_index + SHIP_COMMIT_OPS])
+            primary.sync_and_pump()
+        follower.wait_for(primary.commit_index, timeout=120.0)
+        seconds = time.perf_counter() - start
+        assert follower.store.num_edges == operations
+        transport_rows.append({
+            "transport": lane,
+            "operations": operations,
+            "group_commits": store.commits,
+            "seconds": round(seconds, 4),
+            "commits_per_s": round(store.commits / seconds, 0),
+            "kedges_per_s": round(operations / seconds / 1e3, 2),
+        })
+        follower.close()
+        if server is not None:
+            server.close()
+        primary.close()
+        store.close()
+    # Both transports converge on the full load; the socket lane pays a
+    # real wire cost but must stay in the same order of magnitude.
+    assert all(row["operations"] == operations for row in transport_rows)
+
     # ---------------- PITR replay rate ---------------------------------- #
     source = tmp_path / "pitr-source"
     store = PersistentStore(source, store=ShardedCuckooGraph(num_shards=NUM_SHARDS),
@@ -206,6 +258,12 @@ def test_fig06e_replication(benchmark, tmp_path):
                 title="Read throughput vs replica count "
                       "(read-your-writes barrier, round-robin fan-out)"),
             format_table(
+                transport_rows,
+                columns=["transport", "operations", "group_commits",
+                         "seconds", "commits_per_s", "kedges_per_s"],
+                title="Ship throughput vs transport "
+                      "(in-process queue vs TCP socket, 1 replica)"),
+            format_table(
                 pitr_rows,
                 columns=["upto_fraction", "upto_commits", "replayed_ops",
                          "edges", "seconds", "commits_per_s", "edges_per_s"],
@@ -219,9 +277,11 @@ def test_fig06e_replication(benchmark, tmp_path):
         "num_shards": NUM_SHARDS,
         "lag_batch_sizes": list(LAG_BATCH_SIZES),
         "replica_counts": list(REPLICA_COUNTS),
+        "transport_lanes": list(TRANSPORT_LANES),
         "pitr_fractions": list(PITR_FRACTIONS),
         "lag_rows": lag_rows,
         "read_rows": read_rows,
+        "transport_rows": transport_rows,
         "pitr_rows": pitr_rows,
     }, RESULTS_DIR)
 

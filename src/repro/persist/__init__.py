@@ -50,6 +50,7 @@ from .store import (
 )
 from .wal import (
     DELETE,
+    FRAME_HEADER,
     INSERT,
     INSERT_WEIGHTED,
     WAL_HEADER_SIZE,
@@ -60,6 +61,7 @@ from .wal import (
     decode_nodes,
     decode_ops,
     encode_edges,
+    encode_frame,
     encode_nodes,
     encode_ops,
     read_wal,
@@ -70,6 +72,7 @@ __all__ = [
     "CompactionEvent",
     "CompactionPolicy",
     "DELETE",
+    "FRAME_HEADER",
     "INSERT",
     "INSERT_WEIGHTED",
     "KIND_PLAIN",
@@ -90,6 +93,7 @@ __all__ = [
     "decode_nodes",
     "decode_ops",
     "encode_edges",
+    "encode_frame",
     "encode_nodes",
     "encode_ops",
     "fsync_directory",

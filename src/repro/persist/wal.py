@@ -69,6 +69,16 @@ WAL_HEADER_SIZE = len(WAL_MAGIC) + _GENERATION.size
 #: Record header: payload length + CRC32 of the payload.
 _RECORD_HEADER = struct.Struct("<II")
 
+#: The record framing, public: the replication socket transport reuses it
+#: as its wire frame (length-prefixed, CRC-checked), so a network message
+#: is framed exactly like a WAL record.
+FRAME_HEADER = _RECORD_HEADER
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame ``payload`` the way a WAL record is framed on disk."""
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
 #: Opcode byte values used in record payloads.
 OP_INSERT = 1
 OP_DELETE = 2

@@ -289,7 +289,12 @@ class Follower:
             self.poll()
             if self.commit_index >= index:
                 return self.commit_index
-            if self._channel is None:
+            # Re-checked after *every* wake, channel-closed included: a
+            # transport dropping underneath the barrier (socket reset,
+            # server shutdown) closes the channel without going through
+            # _disconnect, and close() notifies -- the barrier must raise
+            # promptly instead of sleeping out its whole timeout.
+            if self._channel is None or self._channel.closed:
                 raise ReplicationError(
                     f"follower is detached at commit {self.commit_index}; "
                     f"cannot reach {index}"

@@ -36,8 +36,9 @@ calls, not concurrently with them.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.errors import ReplicationError
 from ..persist import WAL_HEADER_SIZE, WalPosition, load_snapshot, read_wal_records
@@ -77,10 +78,13 @@ class Primary:
         self._generation = store.generation
         self._followers: List[object] = []  # Follower instances, fan-out order
         self._closed = False
+        self._lock = threading.RLock()
         #: Group-commit records shipped so far, == the newest commit index.
         self.commit_index = 0
         #: pump() invocations that shipped at least one record.
         self.pumps = 0
+        #: Followers evicted mid-broadcast because their channel died.
+        self.evictions = 0
         #: ``store.commits`` as of the last pump, for logged_commit_index.
         self._commits_at_pump = store.commits
         store.compaction_policy.subscribe(self._before_compaction)
@@ -128,6 +132,16 @@ class Primary:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def lock(self) -> threading.RLock:
+        """Re-entrant lock serialising membership and shipping.
+
+        Every public mutator takes it; a network server's accept thread
+        takes it across an entire bootstrap (sync + pump + snapshot stream
+        + subscribe) so no record can slip between backfill and subscribe.
+        """
+        return self._lock
+
     # ------------------------------------------------------------------ #
     # Shipping
     # ------------------------------------------------------------------ #
@@ -136,9 +150,22 @@ class Primary:
         for follower in list(self._followers):
             channel = follower._channel
             if channel is None or channel.closed:
-                self._followers.remove(follower)  # died without detaching
+                # Died without detaching: evict with the *full* detach so
+                # the follower also learns it is orphaned (otherwise its
+                # lag() keeps measuring against a primary that no longer
+                # ships to it, and its close() later detaches a primary
+                # that already forgot it).
+                self.evictions += 1
+                self.detach(follower)
                 continue
-            channel.send(message)
+            try:
+                channel.send(message)
+            except Exception:
+                # One dead replica must not abort fan-out to the rest (nor
+                # propagate out of pump() with commit_index already
+                # advanced): evict it and keep shipping.
+                self.evictions += 1
+                self.detach(follower)
 
     def _bump_generation(self, generation: int) -> None:
         self._generation = generation
@@ -155,6 +182,10 @@ class Primary:
         group-commit durability which does), and a torn flush tail is left
         for the next pump, exactly the way recovery would leave it.
         """
+        with self._lock:
+            return self._pump_locked()
+
+    def _pump_locked(self) -> int:
         if self._closed:
             raise ReplicationError("primary is closed")
         shipped = 0
@@ -218,18 +249,20 @@ class Primary:
 
     def sync_and_pump(self) -> int:
         """Flush the store's buffered commits, then ship them."""
-        self._store.sync()
-        return self.pump()
+        with self._lock:
+            self._store.sync()
+            return self._pump_locked()
 
     def _before_compaction(self, event: CompactionEvent) -> None:
         """Pre-truncation hook: drain the log before the checkpoint folds it."""
-        if self._closed:
-            return
-        # The event's offsets include buffered appends; flush so the tailer
-        # can read them, then ship everything.  After this, truncation only
-        # removes records every follower channel already carries.
-        self._store.sync()
-        self.pump()
+        with self._lock:
+            if self._closed:
+                return
+            # The event's offsets include buffered appends; flush so the tailer
+            # can read them, then ship everything.  After this, truncation only
+            # removes records every follower channel already carries.
+            self._store.sync()
+            self._pump_locked()
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -243,24 +276,43 @@ class Primary:
         follower re-attaches with a fresh store and converges.  Records
         committed after this call reach it through its channel.
         """
-        if self._closed:
-            raise ReplicationError("primary is closed")
-        if follower in self._followers:
-            raise ReplicationError("follower is already attached")
-        self._store.sync()
-        self.pump()  # cursor == disk: the backfill below is exactly the stream
-        self._backfill(follower.store)
-        channel = self._transport.connect()
-        follower._connect(self, channel,
-                          commit_index=self.commit_index,
-                          generation=self._generation,
-                          offsets=tuple(self._offsets))
-        self._followers.append(follower)
+        with self._lock:
+            if self._closed:
+                raise ReplicationError("primary is closed")
+            if follower in self._followers:
+                raise ReplicationError("follower is already attached")
+            self._store.sync()
+            self._pump_locked()  # cursor == disk: backfill is exactly the stream
+            self._backfill(follower.store)
+            channel = self._transport.connect()
+            follower._connect(self, channel,
+                              commit_index=self.commit_index,
+                              generation=self._generation,
+                              offsets=tuple(self._offsets))
+            self._followers.append(follower)
+
+    def subscribe_channel(self, channel) -> "ChannelSubscriber":
+        """Subscribe a bare channel to the fan-out (no local backfill).
+
+        The network server uses this after streaming snapshot + backfill
+        itself: the remote follower's store lives in another process, so
+        membership here is just the channel wrapped in a minimal proxy.
+        Call under :attr:`lock` together with the bootstrap so no record
+        lands between backfill and subscription.  Returns the proxy to pass
+        to :meth:`detach`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ReplicationError("primary is closed")
+            subscriber = ChannelSubscriber(channel)
+            self._followers.append(subscriber)
+            return subscriber
 
     def detach(self, follower) -> None:
         """Stop shipping to ``follower`` (idempotent)."""
-        if follower in self._followers:
-            self._followers.remove(follower)
+        with self._lock:
+            if follower in self._followers:
+                self._followers.remove(follower)
         follower._disconnect()
 
     def _backfill(self, store) -> None:
@@ -276,6 +328,17 @@ class Primary:
                 "replays the primary's history into it"
             )
         load_snapshot(self.path / SNAPSHOT_NAME, store)
+        for ops in self.shipped_records():
+            apply_shipped_ops(store, ops)
+
+    def shipped_records(self) -> Iterator[Tuple[tuple, ...]]:
+        """Ops of every already-shipped record, in backfill (segment) order.
+
+        This is the record half of a bootstrap: snapshot first (the file at
+        ``path / SNAPSHOT_NAME``), then these, and the result equals the
+        shipped stream at the current cursor.  The network server streams
+        both over the wire instead of applying them to a local store.
+        """
         for index, segment in enumerate(self._segment_paths):
             generation, records, _ = read_wal_records(segment)
             if generation is None or generation < self._generation:
@@ -284,7 +347,7 @@ class Primary:
             for ops, end_offset in records:
                 if end_offset > limit:
                     break  # committed after the cursor; ships via the channel
-                apply_shipped_ops(store, ops)
+                yield tuple(ops)
 
     def close(self) -> None:
         """Detach every follower and stop tailing.  Idempotent.
@@ -292,15 +355,33 @@ class Primary:
         The wrapped store is left untouched (the primary never owned it);
         followers keep their stores and can still be promoted.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._store.compaction_policy.unsubscribe(self._before_compaction)
-        for follower in list(self._followers):
-            self.detach(follower)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._store.compaction_policy.unsubscribe(self._before_compaction)
+            for follower in list(self._followers):
+                self.detach(follower)
 
     def __enter__(self) -> "Primary":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class ChannelSubscriber:
+    """Minimal membership proxy for a bare channel.
+
+    Quacks like a follower as far as :meth:`Primary._broadcast` and
+    :meth:`Primary.detach` care: exposes ``_channel`` and closes it on
+    ``_disconnect``.  The real follower state lives across the wire.
+    """
+
+    def __init__(self, channel):
+        self._channel = channel
+
+    def _disconnect(self) -> None:
+        channel = self._channel
+        if channel is not None and not channel.closed:
+            channel.close()

@@ -87,6 +87,21 @@ class ReplicationChannel:
         raise NotImplementedError
 
     def close(self) -> None:
+        """Close the channel, then wake the registered listener.
+
+        The notification is load-bearing: a consumer blocked in
+        ``Follower.wait_for`` sleeps on the arrival condition this listener
+        feeds, and a transport dying underneath it (a socket reset, a
+        server shutdown) does not go through ``Follower._disconnect`` -- so
+        without this wake-up the barrier would sleep out its entire timeout
+        against a channel that can never deliver.  Subclasses implement
+        :meth:`_close` (idempotent) and inherit the notification.
+        """
+        self._close()
+        self._notify_listener()
+
+    def _close(self) -> None:
+        """Release the transport resources (idempotent); see :meth:`close`."""
         raise NotImplementedError
 
     @property
@@ -132,7 +147,7 @@ class InProcessChannel(ReplicationChannel):
             except queue.Empty:
                 return messages
 
-    def close(self) -> None:
+    def _close(self) -> None:
         self._closed = True
 
     @property

@@ -82,6 +82,7 @@ class ServiceMetrics:
         self.replication_lag_samples = 0
         self.replication_lag_total = 0
         self.replication_lag_max = 0
+        self.replica_evictions = 0
         self.analytics_runs = 0
         self.analytics_decisions: Dict[str, int] = {}
         self.analytics_dirty_total = 0
@@ -137,6 +138,12 @@ class ServiceMetrics:
             self.replication_lag_total += lag
             self.replication_lag_max = max(self.replication_lag_max, lag)
 
+    def record_evictions(self, total: int) -> None:
+        """Absolute count of followers the primary evicted mid-broadcast
+        (dead channels); polled from ``Primary.evictions`` at summary time."""
+        with self._lock:
+            self.replica_evictions = total
+
     def record_analytics_run(self, decision: str, dirty: int,
                              cache_stats: Dict[str, object]) -> None:
         """One analytics run served by the incremental follower.
@@ -184,6 +191,7 @@ class ServiceMetrics:
                         if self.replication_lag_samples else 0.0
                     ),
                     "lag_max": self.replication_lag_max,
+                    "evictions": self.replica_evictions,
                 },
                 "analytics": {
                     "runs": self.analytics_runs,

@@ -138,6 +138,13 @@ class GraphService:
             (:func:`~repro.analytics.canonical_pagerank`), whose float
             accumulation order is sorted-by-node rather than the legacy
             kernel's store-iteration order.
+        replica_transport: Optional
+            :class:`~repro.replicate.ReplicationTransport` the replication
+            group's followers are connected through; defaults to the
+            in-process queue transport.  Remote replicas do not use this
+            seam -- they attach through a
+            :class:`~repro.replicate.ReplicationServer` wrapped around
+            ``service.replication.primary``.
 
     Example:
         >>> with GraphService() as service:
@@ -159,6 +166,7 @@ class GraphService:
         replicas: int = 0,
         freshness: str = "read_your_writes",
         analytics: str = "engine",
+        replica_transport=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -221,6 +229,7 @@ class GraphService:
         # orphaned tailer subscribed to the store's compaction policy).
         self._replication: Optional[ReplicationGroup] = (
             ReplicationGroup(self.store, replicas=replicas,
+                             transport=replica_transport,
                              analytics=analytics == "incremental")
             if replicas or analytics == "incremental" else None
         )
@@ -373,6 +382,10 @@ class GraphService:
 
     def metrics_summary(self) -> Dict[str, object]:
         """Snapshot of request/batch/latency metrics (see ServiceMetrics)."""
+        if self._replication is not None:
+            # Failover-relevant health: followers the primary evicted because
+            # their channel died mid-broadcast (never via a clean detach).
+            self.metrics.record_evictions(self._replication.primary.evictions)
         return self.metrics.summary()
 
     @property

@@ -1,0 +1,96 @@
+"""Subprocess driver for the chaos lane: a killable replication primary.
+
+Run as ``python -m tests.replicate._chaos_primary <dir> <portfile> <seed>
+<num_shards>`` (with ``src`` on ``PYTHONPATH`` and the repo root as cwd).
+Serves a :class:`ReplicationServer` for a seeded op stream and paces
+itself off stdin so the parent test controls exactly when it dies:
+
+* ``CHUNK``  -- apply the next planned chunk, sync + pump, answer
+  ``DONE <chunk> <commit_index>`` (a clean boundary the parent can probe
+  byte-identically against its oracle);
+* ``SPIN``   -- answer ``SPINNING`` and then commit continuously, never
+  reading stdin again: the parent's ``kill -9`` lands mid-commit, which
+  is the whole point;
+* ``EXIT``   -- clean shutdown (used by the non-chaos control path).
+
+The chunk plan is a module function so the parent replays the *same*
+seeded schedule against its dict-of-sets oracle without any state passing
+between the processes beyond the two integers on each ``DONE`` line.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+from repro import ShardedCuckooGraph
+from repro.persist import PersistentStore
+from repro.replicate import Primary, ReplicationServer
+
+from tests.core.test_fuzz_differential import generate_ops
+
+
+def plan_chunks(seed: int):
+    """Deterministic chunking of the seeded op stream (shared with the test)."""
+    ops = generate_ops(seed)
+    rng = random.Random(seed * 104729 + 17)
+    chunks = []
+    position = 0
+    while position < len(ops):
+        size = rng.randrange(20, 90)
+        chunks.append(ops[position:position + size])
+        position += size
+    return chunks
+
+
+def apply_chunk(store, chunk) -> None:
+    store.insert_edges([(u, v) for a, u, v in chunk if a == "insert"])
+    store.delete_edges([(u, v) for a, u, v in chunk if a == "delete"])
+
+
+def main(argv) -> int:
+    base, portfile, seed, num_shards = \
+        argv[0], argv[1], int(argv[2]), int(argv[3])
+    store = PersistentStore(
+        base, store=ShardedCuckooGraph(num_shards=num_shards),
+        own_store=True, sync_on_commit=False, compact_wal_bytes=None)
+    primary = Primary(store)
+    server = ReplicationServer(primary)
+    # Atomic publish: the parent polls for this file, so it must never see
+    # a half-written address.
+    host, port = server.address
+    with open(portfile + ".tmp", "w") as handle:
+        handle.write(f"{host} {port}\n")
+    os.replace(portfile + ".tmp", portfile)
+
+    chunks = plan_chunks(seed)
+    applied = 0
+    for line in sys.stdin:
+        command = line.strip()
+        if command == "CHUNK":
+            if applied >= len(chunks):
+                print(f"END {primary.commit_index}", flush=True)
+                break
+            apply_chunk(store, chunks[applied])
+            applied += 1
+            primary.sync_and_pump()
+            print(f"DONE {applied - 1} {primary.commit_index}", flush=True)
+        elif command == "SPIN":
+            print("SPINNING", flush=True)
+            while True:  # committing flat out until kill -9 lands
+                if applied >= len(chunks):
+                    applied = 0  # recycle the plan; only the WAL bytes matter
+                apply_chunk(store, chunks[applied])
+                applied += 1
+                primary.sync_and_pump()
+        elif command == "EXIT":
+            break
+    server.close()
+    primary.close()
+    store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -35,7 +35,7 @@ from repro.analytics import (
     total_degrees,
 )
 from repro.persist import LOCK_NAME, PersistentStore, read_wal_records, recover
-from repro.replicate import Follower, Primary
+from repro.replicate import Follower, Primary, RemoteFollower, ReplicationServer
 
 from ..core.test_fuzz_differential import (
     NODE_RANGE,
@@ -53,23 +53,38 @@ def copy_dir(source, destination):
     return destination
 
 
+@pytest.mark.parametrize("transport_lane", ["inprocess", "socket"])
 @pytest.mark.parametrize("num_shards", [1, 3])
-def test_fuzz_follower_kill_restart_converges(num_shards, fuzz_seed, tmp_path):
+def test_fuzz_follower_kill_restart_converges(num_shards, transport_lane,
+                                              fuzz_seed, tmp_path):
     rng = random.Random(fuzz_seed * 23 + num_shards)
     ops = generate_ops(fuzz_seed)
     oracle = Oracle()
-    context = f"seed={fuzz_seed} shards={num_shards} replicate"
+    context = f"seed={fuzz_seed} shards={num_shards} {transport_lane} replicate"
     base = tmp_path / "primary"
-
-    def fresh_replica():
-        return Follower(store=ShardedCuckooGraph(num_shards=num_shards))
 
     store = PersistentStore(base, store=ShardedCuckooGraph(num_shards=num_shards),
                             own_store=True, sync_on_commit=False,
                             compact_wal_bytes=None)
     primary = Primary(store)
-    follower = fresh_replica()
-    primary.attach(follower)
+    # The socket lane runs the *same* schedule through TCP: every replica is
+    # a RemoteFollower bootstrapped over the wire (snapshot stream +
+    # backfill frames), and every shipment crosses a real socket.  The
+    # assertions are byte-identical to the in-process lane's.
+    server = ReplicationServer(primary) if transport_lane == "socket" else None
+    node_ids = iter(range(1, 10_000))
+
+    def spawn_replica():
+        if server is not None:
+            return RemoteFollower(
+                server.address,
+                store=ShardedCuckooGraph(num_shards=num_shards),
+                node_id=next(node_ids))
+        replica = Follower(store=ShardedCuckooGraph(num_shards=num_shards))
+        primary.attach(replica)
+        return replica
+
+    follower = spawn_replica()
 
     kills = 0
     index_probes = []     # (commit_index, oracle edges) -- int PITR lane
@@ -92,8 +107,7 @@ def test_fuzz_follower_kill_restart_converges(num_shards, fuzz_seed, tmp_path):
             # backfill alone.
             follower.close()
             kills += 1
-            follower = fresh_replica()
-            primary.attach(follower)
+            follower = spawn_replica()
         else:
             follower.wait_for(primary.commit_index)
 
@@ -114,6 +128,8 @@ def test_fuzz_follower_kill_restart_converges(num_shards, fuzz_seed, tmp_path):
     promoted_state = sorted(promoted.edges())
     promoted.close()
     follower.close()
+    if server is not None:
+        server.close()
     primary.close()
 
     # The deposed primary keeps writing, then its segments are smuggled

@@ -183,3 +183,44 @@ def test_close_tears_down_replicas_and_primary(tmp_path):
     assert group.primary.closed
     assert all(f.closed for f in group.followers)
     assert store.closed
+
+
+def test_replica_transport_seam_is_honored(tmp_path):
+    """The channel factory the service was given is the one followers get."""
+    from repro.replicate import InProcessTransport
+
+    class CountingTransport(InProcessTransport):
+        connects = 0
+
+        def connect(self):
+            CountingTransport.connects += 1
+            return super().connect()
+
+    store = durable_store(tmp_path)
+    transport = CountingTransport()
+    with GraphService(store, replicas=2, own_store=True,
+                      replica_transport=transport) as service:
+        service.insert_edge(1, 2).result(timeout=30)
+        assert service.has_edge(1, 2).result(timeout=30) is True
+    assert CountingTransport.connects == 2  # one channel per follower
+
+
+def test_eviction_of_a_dead_replica_surfaces_in_metrics(tmp_path):
+    """A follower whose channel dies is evicted mid-broadcast -- service
+    traffic keeps flowing and the metrics summary says it happened."""
+    store = durable_store(tmp_path)
+    with GraphService(store, replicas=2, durability="batch",
+                      own_store=True) as service:
+        service.insert_edge(1, 2).result(timeout=30)
+        assert service.metrics_summary()["replication"]["evictions"] == 0
+        # One replica's transport dies underneath it (no clean detach).
+        service.replication.followers[1]._channel.close()
+        service.insert_edge(3, 4).result(timeout=30)
+        summary = service.metrics_summary()
+        assert summary["replication"]["evictions"] == 1
+        assert summary["failed"] == 0
+        assert service.replication.primary.evictions == 1
+        # The surviving follower kept receiving the stream.
+        survivor = service.replication.followers[0]
+        survivor.wait_for(service.replication.primary.commit_index)
+        assert survivor.store.has_edge(3, 4)
