@@ -30,11 +30,34 @@ from repro.bench import (
     dataset_stream,
     format_table,
     run_basic_tasks,
+    write_bench_json,
 )
 from repro.datasets import DATASET_ORDER, EdgeStream
 
 #: Directory containing the benchmark suite (used to auto-mark its tests).
 BENCH_DIR = pathlib.Path(__file__).parent
+
+#: Whether this run may overwrite existing result files (``--bench-update``).
+#: Without the flag a result file is only written when it does not exist yet:
+#: the timing columns change on every run, and unconditional rewrites used to
+#: churn hundreds of pure-noise diff lines under ``benchmarks/results/``.
+_BENCH_UPDATE = False
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-update",
+        action="store_true",
+        default=False,
+        help="rewrite benchmarks/results/ tables and BENCH_*.json files "
+             "(without this flag, existing timing-bearing files are left "
+             "untouched so result diffs reflect real changes)",
+    )
+
+
+def pytest_configure(config):
+    global _BENCH_UPDATE
+    _BENCH_UPDATE = config.getoption("--bench-update", default=False)
 
 
 def pytest_collection_modifyitems(items):
@@ -64,10 +87,29 @@ def bench_stream(name: str, limit: int = BENCH_STREAM_LIMIT) -> EdgeStream:
 
 
 def write_report(figure: str, text: str) -> None:
-    """Print a figure's rows and persist them under ``benchmarks/results/``."""
+    """Print a figure's rows; persist them only when allowed to.
+
+    The rows always print (a benchmark run is reviewable from its output);
+    the ``benchmarks/results/<figure>.txt`` file is written when it does not
+    exist yet or the run passed ``--bench-update``, so committed tables stop
+    churning on every rerun's timing noise.
+    """
     print(f"\n{text}\n")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{figure}.txt").write_text(text + "\n")
+    path = RESULTS_DIR / f"{figure}.txt"
+    if _BENCH_UPDATE or not path.exists():
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path.write_text(text + "\n")
+
+
+def write_bench_payload(figure: str, payload: dict) -> None:
+    """Machine-readable counterpart of :func:`write_report`, same gating.
+
+    Writes ``benchmarks/results/BENCH_<figure>.json`` via
+    :func:`repro.bench.write_bench_json` when the file is missing or the run
+    passed ``--bench-update``.
+    """
+    if _BENCH_UPDATE or not (RESULTS_DIR / f"BENCH_{figure}.json").exists():
+        write_bench_json(figure, payload, RESULTS_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -95,6 +137,20 @@ def operation_table(results: dict[str, dict[str, dict]], operation: str) -> str:
         title=f"{operation.capitalize()} throughput across datasets "
               f"(wall-clock Mops and modelled accesses/op)",
     )
+
+
+def operation_payload(figure: str, results: dict[str, dict[str, dict]],
+                      operation: str) -> dict:
+    """Machine-readable rows for one Figure 6/7/8 operation table."""
+    return {
+        "figure": figure,
+        "operation": operation,
+        "rows": [
+            per_scheme[scheme][operation].as_row()
+            for dataset, per_scheme in results.items()
+            for scheme in per_scheme
+        ],
+    }
 
 
 def assert_ours_wins_majority(results: dict[str, dict[str, dict]], operation: str,

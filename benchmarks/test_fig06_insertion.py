@@ -6,7 +6,9 @@ from repro.core import CuckooGraph
 from .conftest import (
     bench_stream,
     benchmark_callable,
+    operation_payload,
     operation_table,
+    write_bench_payload,
     write_report,
 )
 
@@ -14,6 +16,9 @@ from .conftest import (
 def test_fig06_insertion_throughput(benchmark, basic_task_results):
     """Regenerate the Figure 6 series and benchmark CuckooGraph insertion."""
     write_report("fig06_insertion", operation_table(basic_task_results, "insert"))
+    write_bench_payload(
+        "fig06", operation_payload("fig06_insertion", basic_task_results, "insert")
+    )
     # Shape check: CuckooGraph needs the fewest modelled memory accesses per
     # insertion on the majority of datasets against the adjacency-list /
     # sorted-block / matrix schemes.  Against Spruce the access model shows

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.core import ShardedCuckooGraph
 
-from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
+from .conftest import (bench_stream, benchmark_callable, write_bench_payload,
+                       write_report)
 
 SHARD_COUNTS = (1, 2, 4, 8)
 
@@ -93,13 +94,13 @@ def test_fig06b_shard_scaling(benchmark):
             title="Batched CuckooGraph front-end vs shard count (CAIDA stand-in)",
         ),
     )
-    write_bench_json("fig06b", {
+    write_bench_payload("fig06b", {
         "figure": "fig06b_sharded_insertion",
         "dataset": "CAIDA",
         "operations": len(edges),
         "shard_counts": list(SHARD_COUNTS),
         "rows": rows,
-    }, RESULTS_DIR)
+    })
 
     def batch_insert_all():
         store = ShardedCuckooGraph(num_shards=4)

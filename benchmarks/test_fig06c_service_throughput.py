@@ -21,11 +21,12 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.core import ShardedCuckooGraph
 from repro.service import GraphService
 
-from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
+from .conftest import (bench_stream, benchmark_callable, write_bench_payload,
+                       write_report)
 
 CLIENT_COUNTS = (1, 2, 4)
 
@@ -114,14 +115,14 @@ def test_fig06c_service_throughput(benchmark):
                   "batch coalescing vs client count (CAIDA stand-in)",
         ),
     )
-    write_bench_json("fig06c", {
+    write_bench_payload("fig06c", {
         "figure": "fig06c_service_throughput",
         "dataset": "CAIDA",
         "operations": 2 * len(edges),
         "client_counts": list(CLIENT_COUNTS),
         "service_kwargs": dict(SERVICE_KWARGS),
         "rows": rows,
-    }, RESULTS_DIR)
+    })
 
     def service_insert_all():
         with GraphService(ShardedCuckooGraph(num_shards=4),

@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.core import ShardedCuckooGraph
 from repro.persist import PersistentStore, recover
 from repro.service import GraphService
 
-from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
+from .conftest import (bench_stream, benchmark_callable, write_bench_payload,
+                       write_report)
 
 NUM_SHARDS = 4
 
@@ -206,7 +207,7 @@ def test_fig06d_durability(benchmark, tmp_path):
                       "parallel) and snapshot load"),
         ]),
     )
-    write_bench_json("fig06d", {
+    write_bench_payload("fig06d", {
         "figure": "fig06d_durability",
         "dataset": "CAIDA",
         "operations": operations,
@@ -215,7 +216,7 @@ def test_fig06d_durability(benchmark, tmp_path):
         "overhead_rows": overhead_rows,
         "commit_rows": commit_rows,
         "recovery_rows": recovery_rows,
-    }, RESULTS_DIR)
+    })
 
     # Recovery is idempotent, so the directory is built once and only the
     # recover() + close() pair is timed.

@@ -31,13 +31,14 @@ from __future__ import annotations
 import shutil
 import time
 
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.core import ShardedCuckooGraph
 from repro.persist import LOCK_NAME, PersistentStore, recover
 from repro.replicate import Follower, Primary, RemoteFollower, ReplicationServer
 from repro.service import GraphService
 
-from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
+from .conftest import (bench_stream, benchmark_callable, write_bench_payload,
+                       write_report)
 
 NUM_SHARDS = 4
 
@@ -270,7 +271,7 @@ def test_fig06e_replication(benchmark, tmp_path):
                 title="Point-in-time recovery: recover(upto=...) replay rate"),
         ]),
     )
-    write_bench_json("fig06e", {
+    write_bench_payload("fig06e", {
         "figure": "fig06e_replication",
         "dataset": "CAIDA",
         "operations": operations,
@@ -283,7 +284,7 @@ def test_fig06e_replication(benchmark, tmp_path):
         "read_rows": read_rows,
         "transport_rows": transport_rows,
         "pitr_rows": pitr_rows,
-    }, RESULTS_DIR)
+    })
 
     # Representative operation: PITR to half the history.
     half = int(total_records * 0.5)

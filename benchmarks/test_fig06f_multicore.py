@@ -29,10 +29,11 @@ from __future__ import annotations
 import os
 import time
 
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.core import ShardedCuckooGraph
 
-from .conftest import RESULTS_DIR, bench_stream, benchmark_callable, write_report
+from .conftest import (bench_stream, benchmark_callable, write_bench_payload,
+                       write_report)
 
 SHARD_COUNTS = (1, 2, 4)
 
@@ -156,7 +157,7 @@ def test_fig06f_multicore_scaling(benchmark):
             title=title,
         ),
     )
-    write_bench_json("fig06f", {
+    write_bench_payload("fig06f", {
         "figure": "fig06f_multicore",
         "dataset": "CAIDA",
         "batch_size": BATCH_SIZE,
@@ -166,7 +167,7 @@ def test_fig06f_multicore_scaling(benchmark):
         "required_speedup": REQUIRED_SPEEDUP,
         "speedup_at_max_shards": round(speedup_at_4, 4),
         "rows": rows,
-    }, RESULTS_DIR)
+    })
 
     def processes_insert_all():
         with ShardedCuckooGraph(num_shards=4, executor="processes") as store:

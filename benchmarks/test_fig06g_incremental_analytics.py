@@ -37,11 +37,11 @@ from repro.analytics import (
     top_degree_nodes,
 )
 from repro.analytics.incremental import AnalyticsFollower
-from repro.bench import format_table, write_bench_json
+from repro.bench import format_table
 from repro.persist import PersistentStore
 from repro.replicate import Primary
 
-from .conftest import RESULTS_DIR, benchmark_callable, write_report
+from .conftest import benchmark_callable, write_bench_payload, write_report
 
 #: Ring components: COMPONENTS * COMPONENT_SIZE nodes, same count of base
 #: edges, no dangling nodes, constant node universe under the churn below.
@@ -203,7 +203,7 @@ def test_fig06g_incremental_analytics(benchmark):
                 title=title,
             ),
         )
-        write_bench_json("fig06g", {
+        write_bench_payload("fig06g", {
             "figure": "fig06g_incremental_analytics",
             "dataset": f"synthetic-rings-{COMPONENTS}x{COMPONENT_SIZE}",
             "nodes": nodes,
@@ -215,7 +215,7 @@ def test_fig06g_incremental_analytics(benchmark):
             "speedup_at_low_point": low["speedup"],
             "analytics_stats": stats,
             "rows": rows,
-        }, RESULTS_DIR)
+        })
 
         def dashboard_round():
             mutate(rng, store, extra, MUTATION_COUNTS[0])

@@ -1,0 +1,103 @@
+"""Figure 6h (extension): production-traffic SLOs over service and tiered lanes.
+
+Not a figure from the paper: this benchmark drives the ``repro.traffic``
+open-loop harness against the two deployment schemes the ISSUE names and
+asserts the operational claims the harness exists to measure.
+
+* **Ours-Service lane** -- a replicated, group-commit-durable service under a
+  zipfian multi-tenant mix with a replica killed (and a fresh follower
+  re-attached) mid-run.  The SLO report must be well-formed, carry non-zero
+  throughput and a numeric p99 for every trafficked request class, and log
+  the injected failure with its recovery.
+
+* **Ours-Tiered lane** -- the skewed-locality shape: a shared zipf(1.1)
+  keyspace laid out shard-major over a :class:`~repro.tiered.TieredStore`
+  whose hot tier is 25% of the shards.  The admission policy must discover
+  the popular shards: the measured-window hot-tier hit rate must clear
+  :data:`REQUIRED_HIT_RATE`.
+
+Both lanes land in ``BENCH_fig06h.json`` (written through the gated
+``write_bench_payload`` helper, so reruns do not churn the committed file).
+"""
+
+from __future__ import annotations
+
+from repro.traffic import preset, run_scenario
+from repro.traffic.driver import validate_slo_report
+
+from .conftest import benchmark_callable, write_bench_payload
+
+#: ISSUE acceptance: hot tier (25% of shards) absorbs >= 80% of touches
+#: under zipf(1.1) shard-major traffic.
+REQUIRED_HIT_RATE = 0.80
+
+
+def _slim(report: dict) -> dict:
+    """The rows worth committing: totals, SLO, failures, tier window."""
+    return {
+        "scenario": report["scenario"]["name"],
+        "totals": report["totals"],
+        "slo": report["slo"],
+        "failures": report["failures"],
+        "tiered": report["tiered"].get("window", {}),
+        "replication": report["replication"],
+    }
+
+
+def _trafficked_classes(report: dict) -> list[str]:
+    return [kind for kind, entry in report["classes"].items()
+            if entry["submitted"]]
+
+
+def test_fig06h_traffic_slo(benchmark):
+    """Run both lanes, assert their SLO claims, emit the JSON payload."""
+    # ---- Ours-Service lane: replicated + durable + kill_replica. -------- #
+    service_report = run_scenario(preset("failover"))
+    validate_slo_report(service_report)
+    assert service_report["totals"]["throughput_ops_s"] > 0
+    for kind in _trafficked_classes(service_report):
+        p99 = service_report["classes"][kind]["latency"]["p99_s"]
+        assert isinstance(p99, (int, float)) and p99 >= 0, kind
+    # The injected replica kill must be logged with its recovery.
+    assert len(service_report["failures"]) == 1
+    record = service_report["failures"][0]
+    assert record["kind"] == "kill_replica"
+    assert record["injected"] is True
+    assert record["recovered"] is True, record["detail"]
+
+    # ---- Ours-Tiered lane: zipf(1.1), shard-major, hot tier = 25%. ------ #
+    tiered_config = preset("skewed")
+    assert tiered_config.hot_shards / tiered_config.num_shards == 0.25
+    tiered_report = run_scenario(tiered_config)
+    validate_slo_report(tiered_report)
+    assert tiered_report["totals"]["throughput_ops_s"] > 0
+    for kind in _trafficked_classes(tiered_report):
+        p99 = tiered_report["classes"][kind]["latency"]["p99_s"]
+        assert isinstance(p99, (int, float)) and p99 >= 0, kind
+    window = tiered_report["tiered"]["window"]
+    assert window["touches"] > 0
+    # The acceptance gate: the policy found the popular shards.
+    assert window["hit_rate"] >= REQUIRED_HIT_RATE, (
+        f"hot-tier hit rate {window['hit_rate']:.3f} below "
+        f"{REQUIRED_HIT_RATE:.0%} under zipf(1.1) shard-major traffic "
+        f"(promotions {window['promotions']}, "
+        f"hot set {tiered_report['tiered']['end']['hot_set']})"
+    )
+
+    write_bench_payload("fig06h", {
+        "figure": "fig06h_traffic_slo",
+        "required_hit_rate": REQUIRED_HIT_RATE,
+        "lanes": {
+            "Ours-Service": _slim(service_report),
+            "Ours-Tiered": _slim(tiered_report),
+        },
+    })
+
+    # Representative operation for pytest-benchmark: the smoke scenario
+    # end-to-end (bounded: one second of open-loop traffic).
+    def smoke_run():
+        report = run_scenario(preset("smoke"))
+        validate_slo_report(report)
+        return report["totals"]["completed"]
+
+    assert benchmark_callable(benchmark, smoke_run) > 0

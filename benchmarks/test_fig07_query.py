@@ -6,7 +6,9 @@ from .conftest import (
     assert_ours_wins_majority,
     bench_stream,
     benchmark_callable,
+    operation_payload,
     operation_table,
+    write_bench_payload,
     write_report,
 )
 
@@ -14,6 +16,9 @@ from .conftest import (
 def test_fig07_query_throughput(benchmark, basic_task_results):
     """Regenerate the Figure 7 series and benchmark CuckooGraph queries."""
     write_report("fig07_query", operation_table(basic_task_results, "query"))
+    write_bench_payload(
+        "fig07", operation_payload("fig07_query", basic_task_results, "query")
+    )
     # The query advantage is the paper's strongest basic-task result; it must
     # hold on every dataset in the access model.
     assert_ours_wins_majority(basic_task_results, "query", minimum_fraction=0.99)

@@ -6,7 +6,9 @@ from .conftest import (
     assert_ours_wins_majority,
     bench_stream,
     benchmark_callable,
+    operation_payload,
     operation_table,
+    write_bench_payload,
     write_report,
 )
 
@@ -14,6 +16,9 @@ from .conftest import (
 def test_fig08_deletion_throughput(benchmark, basic_task_results):
     """Regenerate the Figure 8 series and benchmark CuckooGraph deletions."""
     write_report("fig08_deletion", operation_table(basic_task_results, "delete"))
+    write_bench_payload(
+        "fig08", operation_payload("fig08_deletion", basic_task_results, "delete")
+    )
     # Deletion is the paper's narrowest win (3.63x over Spruce on average,
     # because of reverse transformations); require a majority, not a sweep.
     assert_ours_wins_majority(basic_task_results, "delete", minimum_fraction=0.5)

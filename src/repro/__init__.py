@@ -29,6 +29,7 @@ from .interfaces import DynamicGraphStore, WeightedGraphStore
 from .persist import PersistentStore, recover
 from .replicate import Follower, Primary, ReplicationGroup
 from .service import GraphClient, GraphService
+from .tiered import TieredStore
 
 __version__ = "1.0.0"
 
@@ -45,6 +46,7 @@ __all__ = [
     "Primary",
     "ReplicationGroup",
     "ShardedCuckooGraph",
+    "TieredStore",
     "WeightedCuckooGraph",
     "WeightedGraphStore",
     "__version__",

@@ -33,6 +33,7 @@ from ..datasets import EdgeStream, load_dataset
 from ..interfaces import DynamicGraphStore
 from ..persist import PersistentStore
 from ..service import GraphClient
+from ..tiered import TieredStore
 
 #: Name the paper uses for CuckooGraph in every figure legend.
 OURS = "Ours"
@@ -73,17 +74,29 @@ REPLICATED = "Ours-Replicated"
 #: ``benchmarks/test_fig06f_multicore`` measures on multi-core hosts.
 MULTICORE = "Ours-Multicore"
 
+#: The tiered scheme: the hot/cold front-end with a quarter of the shards
+#: resident in the CuckooGraph tier and the rest spilled to the miniredis
+#: integration behind the touch-count LRU policy -- the configuration the
+#: traffic-SLO benchmark (``benchmarks/test_fig06h_traffic_slo``) gates its
+#: hit-rate criterion on.
+TIERED = "Ours-Tiered"
+
 #: Default shard count used when the sharded scheme is built by name.
 DEFAULT_SHARDS = 4
 
 #: Default replica count for the replicated scheme.
 DEFAULT_REPLICAS = 2
 
+#: Tiered-scheme defaults: 25% of the shards hot (the fig06h gate's sizing).
+DEFAULT_TIERED_SHARDS = 8
+DEFAULT_HOT_SHARDS = 2
+
 #: Schemes that *are* CuckooGraph (single-instance, sharded, served, made
 #: durable or replicated).  The "CuckooGraph beats each competitor" shape
 #: checks iterate the complement of this set, so registering another of our
 #: own variants never turns it into a competitor.
-OURS_FAMILY = frozenset({OURS, SHARDED, MULTICORE, SERVICE, DURABLE, REPLICATED})
+OURS_FAMILY = frozenset({OURS, SHARDED, MULTICORE, SERVICE, DURABLE, REPLICATED,
+                         TIERED})
 
 
 def _durable_store(config: Optional[CuckooGraphConfig] = None) -> PersistentStore:
@@ -131,6 +144,8 @@ SCHEMES: dict[str, Callable[[], DynamicGraphStore]] = {
     SERVICE: lambda: GraphClient.local(num_shards=DEFAULT_SHARDS),
     DURABLE: _durable_store,
     REPLICATED: _replicated_client,
+    TIERED: lambda: TieredStore(num_shards=DEFAULT_TIERED_SHARDS,
+                                hot_shards=DEFAULT_HOT_SHARDS),
     "WBI": lambda: COMPETITORS["WBI"](matrix_size=16),
 }
 
@@ -157,6 +172,9 @@ def build_store(scheme: str, config: Optional[CuckooGraphConfig] = None) -> Dyna
             return _durable_store(config)
         if scheme == REPLICATED:
             return _replicated_client(config)
+        if scheme == TIERED:
+            return TieredStore(num_shards=DEFAULT_TIERED_SHARDS,
+                               hot_shards=DEFAULT_HOT_SHARDS, config=config)
     return SCHEMES[scheme]()
 
 

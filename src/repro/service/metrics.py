@@ -88,6 +88,7 @@ class ServiceMetrics:
         self.analytics_dirty_total = 0
         self.analytics_dirty_max = 0
         self.analytics_cache: Dict[str, object] = {}
+        self.tier_stats: Dict[str, object] = {}
         self._latency = LatencyRecorder()
 
     # -- submission side ------------------------------------------------ #
@@ -163,6 +164,13 @@ class ServiceMetrics:
             self.analytics_dirty_max = max(self.analytics_dirty_max, dirty)
             self.analytics_cache = dict(cache_stats)
 
+    def record_tier_stats(self, stats: Dict[str, object]) -> None:
+        """Latest hot/cold tier snapshot (hits/misses/promotions/demotions);
+        polled from ``TieredStore.tier_stats()`` at summary time when the
+        service fronts a tiered store."""
+        with self._lock:
+            self.tier_stats = dict(stats)
+
     # -- reporting ------------------------------------------------------- #
 
     def summary(self) -> Dict[str, object]:
@@ -204,5 +212,6 @@ class ServiceMetrics:
                     ),
                     "cache": dict(self.analytics_cache),
                 },
+                "tiered": dict(self.tier_stats),
                 "latency": self._latency.summary(),
             }

@@ -386,6 +386,14 @@ class GraphService:
             # Failover-relevant health: followers the primary evicted because
             # their channel died mid-broadcast (never via a clean detach).
             self.metrics.record_evictions(self._replication.primary.evictions)
+        # Hot/cold tier health when the service fronts a TieredStore --
+        # directly or wrapped in a PersistentStore (whose ``.store`` is the
+        # tiered structure).
+        for candidate in (self.store, getattr(self.store, "store", None)):
+            stats = getattr(candidate, "tier_stats", None)
+            if callable(stats):
+                self.metrics.record_tier_stats(stats())
+                break
         return self.metrics.summary()
 
     @property

@@ -1,0 +1,117 @@
+"""``python -m repro.traffic``: run one scenario and emit its SLO report.
+
+Examples::
+
+    python -m repro.traffic --preset smoke
+    python -m repro.traffic --preset skewed --duration 2.5 --rate 800
+    python -m repro.traffic --config scenario.json --out benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..bench import write_bench_json
+from .config import ScenarioConfig, preset
+from .driver import run_scenario, validate_slo_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traffic",
+        description="Run a production-traffic scenario against the graph "
+                    "service and emit an SLO report.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--config", type=Path,
+                        help="path to a ScenarioConfig JSON file")
+    source.add_argument("--preset", default="smoke",
+                        choices=("smoke", "skewed", "failover"),
+                        help="named built-in scenario (default: smoke)")
+    parser.add_argument("--name", help="override the scenario name")
+    parser.add_argument("--seed", type=int, help="override the seed")
+    parser.add_argument("--duration", type=float, metavar="S",
+                        help="override duration_s")
+    parser.add_argument("--rate", type=float, metavar="OPS",
+                        help="override target_ops_s")
+    parser.add_argument("--tenants", type=int, help="override tenant count")
+    parser.add_argument("--scheme", choices=("service", "tiered"),
+                        help="override the deployment scheme")
+    parser.add_argument("--out", type=Path, default=Path("benchmarks/results"),
+                        help="directory for BENCH_traffic_<name>.json "
+                             "(default: benchmarks/results)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="print the summary without writing the report")
+    return parser
+
+
+def _apply_overrides(config: ScenarioConfig,
+                     args: argparse.Namespace) -> ScenarioConfig:
+    overrides = {}
+    for field, attr in (("name", "name"), ("seed", "seed"),
+                        ("duration_s", "duration"), ("target_ops_s", "rate"),
+                        ("tenants", "tenants"), ("scheme", "scheme")):
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[field] = value
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _print_summary(report: dict) -> None:
+    totals = report["totals"]
+    print(f"scenario    : {report['scenario']['name']} "
+          f"(seed {report['scenario']['seed']})")
+    print(f"throughput  : {totals['throughput_ops_s']:.1f} ops/s "
+          f"(target {totals['target_ops_s']:.1f}, "
+          f"completed {totals['completed']}/{totals['submitted']})")
+    print(f"errors      : {totals['errors']} "
+          f"(rejected {totals['rejected']}, "
+          f"behind schedule {totals['behind_schedule']})")
+    slo = report["slo"]
+    print(f"slo         : p99 bound {slo['p99_bound_s'] * 1000:.0f}ms -> "
+          f"{'MET' if slo['met'] else 'MISSED'}")
+    for kind, entry in sorted(report["classes"].items()):
+        latency = entry["latency"]
+        if not latency["count"]:
+            continue
+        print(f"  {kind:<11}: n={latency['count']:<6} "
+              f"p50={latency['p50_s'] * 1000:7.2f}ms "
+              f"p99={latency['p99_s'] * 1000:7.2f}ms "
+              f"errors={entry['errors']}")
+    tiered = report.get("tiered") or {}
+    if tiered:
+        window = tiered["window"]
+        print(f"tiered      : hit_rate={window['hit_rate']:.3f} "
+              f"(hits {window['hits']}/{window['touches']}, "
+              f"promotions {window['promotions']}, "
+              f"demotions {window['demotions']})")
+    for record in report["failures"]:
+        state = "recovered" if record["recovered"] else (
+            "injected" if record["injected"] else "FAILED TO INJECT")
+        print(f"failure     : t={record['at_s']}s {record['kind']} "
+              f"[{state}] {record['detail']}")
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = (ScenarioConfig.from_json(args.config) if args.config
+              else preset(args.preset))
+    config = _apply_overrides(config, args)
+    report = run_scenario(config)
+    try:
+        validate_slo_report(report)
+    except ValueError as exc:
+        print(f"malformed SLO report: {exc}", file=sys.stderr)
+        return 1
+    _print_summary(report)
+    if not args.no_json:
+        path = write_bench_json(f"traffic_{config.name}", report,
+                                directory=args.out)
+        print(f"report      : {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Failure injection against a live service: the PR 8 chaos seams, scripted.
+
+Each injector breaks one seam the replication/durability stack already
+treats as a first-class failure mode, and returns a recovery callable that
+performs the matching repair:
+
+* ``kill_replica`` -- close a follower's replication channel (the moral
+  equivalent of ``kill -9`` on the replica process).  The primary evicts
+  the dead channel mid-broadcast (``Primary._broadcast`` never raises), and
+  reads routed to the orphaned follower fail fast with
+  :class:`~repro.core.errors.ReplicationError` -- the error rate the SLO
+  report measures.  Recovery detaches the corpse and attaches a *fresh*
+  follower in the same rotation slot (attach = backfill + subscribe), which
+  is exactly the documented crash-recovery path.
+* ``drop_channel`` -- same transport cut, but recovery re-attaches a new
+  follower without closing the old store first (a transient network drop
+  rather than a process death).  Operationally the repair is the same
+  attach path; the distinction is what the report labels it.
+* ``stall_fsync`` -- wrap the service's group-commit sync in a sleep, so
+  every dispatched mutation run pays the stall: queue depth and tail
+  latency climb, which is the backpressure signal the report captures.
+  Recovery unwraps the original sync.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..core.errors import ReplicationError
+from ..replicate import Follower
+from .config import FailureSpec
+
+
+@dataclass
+class InjectedFailure:
+    """What the injector actually did, as the SLO report records it."""
+
+    at_s: float
+    kind: str
+    target: int
+    injected: bool = False
+    recovered: bool = False
+    detail: str = ""
+
+    def as_row(self) -> dict:
+        return {
+            "at_s": round(self.at_s, 3),
+            "kind": self.kind,
+            "target": self.target,
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _Injection:
+    record: InjectedFailure
+    recover: Callable[[], str] = field(default=lambda: "")
+
+
+def _replica_slot(service, target: int):
+    group = service.replication
+    if group is None or not group.followers:
+        raise ReplicationError("scenario has no replicas to break")
+    index = target % len(group.followers)
+    return group, index
+
+
+def _kill_replica(service, spec: FailureSpec, close_store: bool) -> _Injection:
+    group, index = _replica_slot(service, spec.target)
+    victim = group.followers[index]
+    # The transport cut: the channel dies underneath the follower, exactly
+    # like a crashed process.  The primary notices on its next broadcast.
+    victim._channel.close()
+    record = InjectedFailure(
+        at_s=spec.at_s, kind=spec.kind, target=index, injected=True,
+        detail=f"closed replication channel of follower {index}",
+    )
+
+    def recover() -> str:
+        primary = group.primary
+        primary.detach(victim)  # idempotent; broadcast may have evicted it
+        if close_store:
+            victim.close()
+        fresh = Follower(store=primary.store.store.spawn_empty(),
+                         own_store=True)
+        primary.attach(fresh)  # backfill + subscribe: converged on arrival
+        group.followers[index] = fresh
+        return (f"re-attached fresh follower in slot {index} at commit "
+                f"{fresh.commit_index}")
+
+    return _Injection(record=record, recover=recover)
+
+
+def _stall_fsync(service, spec: FailureSpec) -> _Injection:
+    original = service._durable_sync
+    if original is None:
+        # Replicated but not batch-durable: stall the primary's explicit
+        # sync path instead (refresh() calls sync_and_pump per read).
+        store = service.store
+        inner_sync = store.sync
+        stall_s = min(0.05, spec.duration_s / 4) or 0.01
+
+        def stalled_store_sync() -> None:
+            time.sleep(stall_s)
+            inner_sync()
+
+        store.sync = stalled_store_sync
+        record = InjectedFailure(
+            at_s=spec.at_s, kind=spec.kind, target=spec.target, injected=True,
+            detail=f"wrapped store.sync with a {stall_s * 1000:.0f}ms stall",
+        )
+
+        def recover() -> str:
+            del store.sync  # fall back to the class attribute
+            return "removed the store.sync stall wrapper"
+
+        return _Injection(record=record, recover=recover)
+
+    stall_s = min(0.05, spec.duration_s / 4) or 0.01
+
+    def stalled_sync() -> None:
+        time.sleep(stall_s)
+        original()
+
+    service._durable_sync = stalled_sync
+    record = InjectedFailure(
+        at_s=spec.at_s, kind=spec.kind, target=spec.target, injected=True,
+        detail=f"wrapped group-commit sync with a {stall_s * 1000:.0f}ms stall",
+    )
+
+    def recover() -> str:
+        service._durable_sync = original
+        return "restored the original group-commit sync"
+
+    return _Injection(record=record, recover=recover)
+
+
+def inject(service, spec: FailureSpec) -> _Injection:
+    """Apply ``spec`` to the running service; never raises.
+
+    On an injection error the returned record has ``injected=False`` and the
+    exception text in ``detail`` -- a scenario keeps serving traffic even
+    when a fault cannot be placed.
+    """
+    try:
+        if spec.kind == "kill_replica":
+            return _kill_replica(service, spec, close_store=True)
+        if spec.kind == "drop_channel":
+            return _kill_replica(service, spec, close_store=False)
+        if spec.kind == "stall_fsync":
+            return _stall_fsync(service, spec)
+        raise ReplicationError(f"unknown failure kind {spec.kind!r}")
+    except Exception as exc:
+        record = InjectedFailure(
+            at_s=spec.at_s, kind=spec.kind, target=spec.target,
+            injected=False, detail=f"injection failed: {exc}",
+        )
+        return _Injection(record=record, recover=lambda: "nothing to recover")
+
+
+def run_failure_timeline(service, specs, start_monotonic: float,
+                         stop) -> List[InjectedFailure]:
+    """Drive the failure schedule against the running service.
+
+    Blocking helper meant for the injector thread: sleeps to each spec's
+    ``at_s``, injects, holds the fault for ``duration_s``, then runs the
+    recovery and stamps ``recovered``.  ``stop`` is an ``Event``; a set stop
+    flag short-circuits remaining waits (recoveries still run, so a scenario
+    never leaks a stalled sync or a dead replica slot past its end).
+    """
+    records: List[InjectedFailure] = []
+    for spec in sorted(specs, key=lambda item: item.at_s):
+        delay = start_monotonic + spec.at_s - time.monotonic()
+        if delay > 0 and not stop.wait(delay):
+            pass  # reached injection time with the scenario still running
+        injection = inject(service, spec)
+        records.append(injection.record)
+        if injection.record.injected:
+            stop.wait(spec.duration_s)
+            try:
+                outcome = injection.recover()
+                injection.record.recovered = True
+                if outcome:
+                    injection.record.detail += f"; recovered: {outcome}"
+            except Exception as exc:
+                injection.record.detail += f"; recovery failed: {exc}"
+    return records

@@ -18,6 +18,7 @@ from repro.baselines import (
     WindBellIndex,
 )
 from repro.integrations import Neo4jGraphStore, RedisGraphStore
+from repro.tiered import TieredStore
 
 #: Every DynamicGraphStore implementation that must honour the common contract.
 #: The persistent wrapper runs ephemeral (``path=None``: a temporary directory
@@ -47,6 +48,10 @@ ALL_STORE_FACTORIES = {
     "WBI": lambda: WindBellIndex(matrix_size=16),
     "MiniRedis": RedisGraphStore,
     "MiniNeo4j": Neo4jGraphStore,
+    # The hot/cold tiered front-end: half the shards start cold (miniredis),
+    # mutations drive promotion/demotion mid-sequence, so the matrix
+    # exercises reads and writes against both tiers and across migrations.
+    "TieredStore": lambda: TieredStore(num_shards=4, hot_shards=2),
 }
 
 

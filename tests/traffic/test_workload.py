@@ -1,0 +1,193 @@
+"""Workload-generator properties: determinism, arrival shapes, zipf skew."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tiered import TieredStore
+from repro.traffic import (
+    FailureSpec,
+    ScenarioConfig,
+    ZipfRanks,
+    build_schedule,
+    bursty_arrivals,
+    poisson_arrivals,
+    preset,
+    ranked_keys,
+    tenant_keys,
+    uniform_arrivals,
+)
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+
+def test_build_schedule_is_deterministic():
+    config = ScenarioConfig(seed=99, duration_s=1.0, target_ops_s=500.0,
+                            tenants=3, arrival="bursty")
+    first = build_schedule(config)
+    second = build_schedule(config)
+    assert first == second
+    assert len(first) > 0
+    # A different seed produces a different schedule.
+    assert build_schedule(config.with_overrides(seed=100)) != first
+
+
+def test_tenants_draw_independent_streams():
+    config = ScenarioConfig(seed=7, duration_s=1.0, target_ops_s=400.0,
+                            tenants=2)
+    events = build_schedule(config)
+    per_tenant = {t: [e for e in events if e.tenant == t] for t in (0, 1)}
+    assert per_tenant[0] and per_tenant[1]
+    assert [e.at_s for e in per_tenant[0]] != [e.at_s for e in per_tenant[1]]
+
+
+def test_schedule_is_time_sorted_and_in_range():
+    config = ScenarioConfig(seed=3, duration_s=0.8, target_ops_s=600.0,
+                            tenants=2)
+    events = build_schedule(config)
+    times = [e.at_s for e in events]
+    assert times == sorted(times)
+    assert all(0 <= t < config.duration_s for t in times)
+    assert all(e.rank_u != e.rank_v for e in events)  # no self-loops
+
+
+# --------------------------------------------------------------------- #
+# Arrival processes
+# --------------------------------------------------------------------- #
+
+def test_uniform_arrivals_exact():
+    times = uniform_arrivals(100.0, 2.0)
+    assert len(times) == 200
+    assert times[0] == 0.0
+    assert all(t < 2.0 for t in times)
+    gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+    assert len(gaps) == 1  # evenly spaced
+
+
+def test_poisson_arrivals_hit_mean_rate():
+    rng = random.Random(42)
+    times = poisson_arrivals(rng, rate=1000.0, duration_s=2.0)
+    assert 1700 <= len(times) <= 2300  # ~2000 +- a few sigma
+    assert all(0 <= t < 2.0 for t in times)
+
+
+def test_bursty_arrivals_preserve_mean_rate():
+    counts = [
+        len(bursty_arrivals(random.Random(seed), rate=1000.0, duration_s=1.0,
+                            burst_factor=6.0, burst_fraction=0.25))
+        for seed in range(10)
+    ]
+    mean = sum(counts) / len(counts)
+    assert 700 <= mean <= 1300
+    with pytest.raises(ConfigurationError):
+        bursty_arrivals(random.Random(0), 100.0, 1.0,
+                        burst_factor=0.5, burst_fraction=0.25)
+
+
+# --------------------------------------------------------------------- #
+# Zipf skew
+# --------------------------------------------------------------------- #
+
+def test_zipf_top_fraction_mass_matches_sampling():
+    zipf = ZipfRanks(1000, 1.1)
+    analytic = zipf.top_fraction_mass(0.01)  # hottest 10 of 1000 ranks
+    assert analytic > 0.3  # zipf(1.1) concentrates hard on the head
+    rng = random.Random(1234)
+    draws = 20_000
+    hits = sum(1 for _ in range(draws) if zipf.sample(rng) < 10)
+    assert hits / draws == pytest.approx(analytic, abs=0.02)
+
+
+def test_zipf_mass_is_monotone_in_fraction():
+    zipf = ZipfRanks(512, 1.1)
+    masses = [zipf.top_fraction_mass(f) for f in (0.01, 0.1, 0.25, 1.0)]
+    assert masses == sorted(masses)
+    assert masses[-1] == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        zipf.top_fraction_mass(0.0)
+
+
+# --------------------------------------------------------------------- #
+# Key layouts
+# --------------------------------------------------------------------- #
+
+def test_hashed_layout_is_plain_ranks():
+    config = ScenarioConfig(tenants=2, keys_per_tenant=64)
+    assert ranked_keys(config) == list(range(128))
+
+
+def test_shard_major_layout_groups_hot_ranks():
+    config = ScenarioConfig(tenants=1, keys_per_tenant=128,
+                            key_layout="shard_major", scheme="tiered",
+                            num_shards=4, hot_shards=1)
+    store = TieredStore(num_shards=4, hot_shards=1)
+    try:
+        ranked = ranked_keys(config, shard_of=store.shard_of, num_shards=4)
+        assert len(ranked) == 128
+        assert len(set(ranked)) == 128
+        # The hottest quarter of the ranking lives on a single shard.
+        head = ranked[:32]
+        assert len({store.shard_of(u) for u in head}) == 1
+        # Deterministic given the seed.
+        assert ranked == ranked_keys(config, shard_of=store.shard_of,
+                                     num_shards=4)
+    finally:
+        store.close()
+
+
+def test_shard_major_requires_routing():
+    config = ScenarioConfig(key_layout="shard_major")
+    with pytest.raises(ConfigurationError):
+        ranked_keys(config)
+
+
+def test_tenant_keys_disjoint_vs_shared():
+    config = ScenarioConfig(tenants=2, keys_per_tenant=16)
+    ranked = ranked_keys(config)
+    a = tenant_keys(config, ranked, 0)
+    b = tenant_keys(config, ranked, 1)
+    assert len(a) == len(b) == 16
+    assert not set(a) & set(b)
+    shared = config.with_overrides(tenant_layout="shared")
+    ranked_shared = ranked_keys(shared)
+    assert tenant_keys(shared, ranked_shared, 0) \
+        == tenant_keys(shared, ranked_shared, 1)
+
+
+# --------------------------------------------------------------------- #
+# Config validation and round-trip
+# --------------------------------------------------------------------- #
+
+def test_config_json_round_trip(tmp_path):
+    config = preset("failover")
+    path = tmp_path / "scenario.json"
+    path.write_text(config.to_json())
+    assert ScenarioConfig.from_json(path) == config
+    assert ScenarioConfig.from_json(config.to_json()) == config
+
+
+def test_config_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(arrival="constant")
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(mix={"write": 1.0})
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(mix={"insert": 0.0})
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(failures=(FailureSpec(at_s=0.1, kind="kill_replica"),))
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig.from_dict({"nonsense_field": 1})
+    with pytest.raises(ConfigurationError):
+        preset("nope")
+
+
+def test_presets_are_valid_and_distinct():
+    names = ("smoke", "skewed", "failover")
+    configs = {name: preset(name) for name in names}
+    assert configs["skewed"].scheme == "tiered"
+    assert configs["failover"].replicas == 2
+    assert configs["failover"].failures[0].kind == "kill_replica"
+    assert len({c.name for c in configs.values()}) == 3
